@@ -1,0 +1,198 @@
+package bftbcast_test
+
+// One benchmark per paper experiment (E1–E10, see DESIGN.md §5 and
+// EXPERIMENTS.md), each running the corresponding reproduction through
+// the exper harness, plus micro-benchmarks of the core primitives. Run
+// with: go test -bench=. -benchmem
+//
+// Every experiment benchmark also validates the reproduced claim shape
+// (the harness marks the outcome failed otherwise), so `-bench` doubles
+// as a full reproduction check.
+
+import (
+	"io"
+	"testing"
+
+	"bftbcast"
+	"bftbcast/internal/auedcode"
+	"bftbcast/internal/exper"
+	"bftbcast/internal/stats"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exper.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(exper.Options{Quick: true, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Passed {
+			var sink io.Writer = io.Discard
+			_, _ = out.WriteTo(sink)
+			b.Fatalf("%s failed reproduction", id)
+		}
+	}
+}
+
+// BenchmarkE1Figure1Impossibility regenerates the Theorem 1 / Figure 1
+// budget sweep against the stripe construction.
+func BenchmarkE1Figure1Impossibility(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2Figure2Stall regenerates the exact Figure 2 stall
+// (r=4, t=1, mf=1000, m=m0+1=59; 84 decided nodes).
+func BenchmarkE2Figure2Stall(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3ProtocolBVsKoo regenerates the protocol B vs repetition
+// baseline message-cost comparison (~½(r(2r+1)−t) ratio).
+func BenchmarkE3ProtocolBVsKoo(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4CorollaryThresholds regenerates the Corollary 1 fault
+// tolerance sweep.
+func BenchmarkE4CorollaryThresholds(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5Heterogeneous regenerates the Theorem 3 average-budget
+// comparison between Bheter and homogeneous B.
+func BenchmarkE5Heterogeneous(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6GeometryLemmas regenerates the Lemma 5–10 frontier and
+// expanding-line validations.
+func BenchmarkE6GeometryLemmas(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7CodingScheme regenerates the Figure 9 coding tables
+// (overhead vs I-code, flip detection, forgery rate).
+func BenchmarkE7CodingScheme(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8ReactiveBudget regenerates the Theorem 4 Breactive budget
+// measurements.
+func BenchmarkE8ReactiveBudget(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9Lemma4Propagation regenerates the Lemma 4 contrapositive
+// check on the Figure 2 stall.
+func BenchmarkE9Lemma4Propagation(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Ablations regenerates the quiet-window, sub-bit-length and
+// segment-chain ablations.
+func BenchmarkE10Ablations(b *testing.B) { benchExperiment(b, "E10") }
+
+// --- Micro-benchmarks of the core primitives ---
+
+// BenchmarkProtocolBRun measures a full protocol B broadcast on a 20×20
+// torus under the corruptor adversary.
+func BenchmarkProtocolBRun(b *testing.B) {
+	tor, err := bftbcast.NewTorus(20, 20, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bftbcast.Params{R: 2, T: 3, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bftbcast.RunSim(bftbcast.SimConfig{
+			Torus: tor, Params: params, Spec: spec,
+			Placement: bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 7},
+			Strategy:  bftbcast.NewCorruptor(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("broadcast failed")
+		}
+	}
+}
+
+// BenchmarkActorRun measures the goroutine-per-node runtime on the same
+// workload, fault-free.
+func BenchmarkActorRun(b *testing.B) {
+	tor, err := bftbcast.NewTorus(20, 20, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bftbcast.Params{R: 2, T: 3, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bftbcast.RunActor(bftbcast.ActorConfig{Torus: tor, Params: params, Spec: spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("broadcast failed")
+		}
+	}
+}
+
+// BenchmarkAUEDEncode measures encoding a 64-bit payload into the
+// two-level code (bit segments plus random sub-bit patterns).
+func BenchmarkAUEDEncode(b *testing.B) {
+	code, err := auedcode.NewCode(64, 1024, 4, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	payload := auedcode.NewBitString(64)
+	for i := 0; i < 64; i += 3 {
+		payload.Set(i, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(payload, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAUEDVerify measures integrity verification of a received
+// codeword.
+func BenchmarkAUEDVerify(b *testing.B) {
+	code, err := auedcode.NewCode(64, 1024, 4, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := auedcode.NewBitString(64)
+	payload.Set(0, 1)
+	w, err := code.EncodeBits(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := code.Verify(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReactiveBroadcast measures a full Breactive run under
+// disruption attacks.
+func BenchmarkReactiveBroadcast(b *testing.B) {
+	tor, err := bftbcast.NewTorus(15, 15, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bftbcast.RunReactive(bftbcast.ReactiveConfig{
+			Torus: tor, T: 1, MF: 3, MMax: 64, PayloadBits: 16,
+			Placement: bftbcast.RandomPlacement{T: 1, Density: 0.06, Seed: 5},
+			Policy:    bftbcast.PolicyDisrupt,
+			Seed:      9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("reactive broadcast failed")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package bftbcast is a simulation library for message-efficient
+// Byzantine fault-tolerant broadcast in multi-hop wireless sensor grids,
+// reproducing Bertier, Kermarrec and Tan, "Message-Efficient Byzantine
+// Fault-Tolerant Broadcast in a Multi-Hop Wireless Sensor Network"
+// (ICDCS 2010).
+//
+// The model: n nodes on a toroidal grid with L∞ radio range r; at most t
+// Byzantine ("bad") nodes per neighborhood, each with a total message
+// budget mf; bad nodes may inject wrong values or collide with concurrent
+// transmissions, corrupting or silencing them at common receivers. The
+// library provides:
+//
+//   - the paper's budget bounds (m0, m', Corollary 1, Theorem 4);
+//   - protocol B (homogeneous budgets, Theorem 2), protocol Bheter
+//     (cross-shaped heterogeneous budgets, Theorem 3), the Koo et al.
+//     repetition baseline, and protocol Breactive (unknown mf, Section 5)
+//     built on the cryptography-free AUED coding scheme;
+//   - a deterministic slot-level simulator with worst-case adversary
+//     strategies, including the Theorem 1 stripe and Figure 2 lattice
+//     constructions, and a goroutine-per-node concurrent runtime;
+//   - the experiment harness regenerating every quantitative claim of
+//     the paper (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	tor, _ := bftbcast.NewTorus(20, 20, 2)
+//	params := bftbcast.Params{R: 2, T: 3, MF: 2}
+//	spec, _ := bftbcast.NewProtocolB(params)
+//	res, _ := bftbcast.RunSim(bftbcast.SimConfig{
+//		Torus: tor, Params: params, Spec: spec,
+//		Placement: bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 1},
+//		Strategy:  bftbcast.NewCorruptor(),
+//	})
+//	fmt.Println(res.Completed, res.AvgGoodSends)
+package bftbcast
+
+import (
+	"bftbcast/internal/actor"
+	"bftbcast/internal/adversary"
+	"bftbcast/internal/auedcode"
+	"bftbcast/internal/bv"
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/koo"
+	"bftbcast/internal/radio"
+	"bftbcast/internal/reactive"
+	"bftbcast/internal/sim"
+)
+
+// Core model types.
+type (
+	// Torus is the toroidal grid the network lives on.
+	Torus = grid.Torus
+	// NodeID identifies a node (dense, usable as array index).
+	NodeID = grid.NodeID
+	// Rect is a rectangular node region ([x1..x2, y1..y2] in the
+	// paper's notation; see Span).
+	Rect = grid.Rect
+	// Cross is the Figure 5 cross-shaped region used by Bheter.
+	Cross = grid.Cross
+	// Value is a broadcast value; ValueTrue is the source's.
+	Value = radio.Value
+	// Params is the fault model (r, t, mf).
+	Params = core.Params
+	// Spec is an executable threshold-protocol description.
+	Spec = core.Spec
+)
+
+// Distinguished values and ids.
+const (
+	ValueTrue  = radio.ValueTrue
+	ValueFalse = radio.ValueFalse
+	NoNode     = grid.None
+)
+
+// Simulation types.
+type (
+	// SimConfig configures a slot-level simulation run.
+	SimConfig = sim.Config
+	// SimResult is its outcome.
+	SimResult = sim.Result
+	// ActorConfig configures the concurrent (goroutine-per-node) run.
+	ActorConfig = actor.Config
+	// ActorResult is its outcome.
+	ActorResult = actor.Result
+	// ReactiveConfig configures a Breactive (unknown-mf) run.
+	ReactiveConfig = reactive.Config
+	// ReactiveResult is its outcome.
+	ReactiveResult = reactive.Result
+	// AttackPolicy selects the reactive adversary's behavior.
+	AttackPolicy = reactive.AttackPolicy
+)
+
+// Reactive attack policies.
+const (
+	PolicyDisrupt  = reactive.PolicyDisrupt
+	PolicyForge    = reactive.PolicyForge
+	PolicyNackSpam = reactive.PolicyNackSpam
+	PolicyMixed    = reactive.PolicyMixed
+)
+
+// Adversary types.
+type (
+	// Placement chooses where bad nodes sit.
+	Placement = adversary.Placement
+	// Strategy drives what bad nodes transmit.
+	Strategy = adversary.Strategy
+	// StripePlacement is the Theorem 1 / Figure 1 construction.
+	StripePlacement = adversary.Stripe
+	// SandwichPlacement isolates a band between two stripes (the torus
+	// form of the Theorem 1 construction).
+	SandwichPlacement = adversary.Sandwich
+	// LatticePlacement is the Figure 2 construction (t lattices with
+	// spacing 2r+1).
+	LatticePlacement = adversary.Lattice
+	// RandomPlacement marks random nodes under the t-local bound.
+	RandomPlacement = adversary.Random
+	// NoPlacement leaves the network fault-free.
+	NoPlacement = adversary.None
+)
+
+// Coding types (Section 5).
+type (
+	// Code is the two-level AUED code layout.
+	Code = auedcode.Code
+	// Codeword is an encoded, transmittable message.
+	Codeword = auedcode.Codeword
+	// BitString is the code's bit-vector type.
+	BitString = auedcode.BitString
+)
+
+// NewTorus builds a W×H torus with radio range r.
+func NewTorus(w, h, r int) (*Torus, error) { return grid.New(w, h, r) }
+
+// Span builds the node region [x1..x2, y1..y2].
+func Span(x1, x2, y1, y2 int) Rect { return grid.Span(x1, x2, y1, y2) }
+
+// NewProtocolB returns the Section 3 protocol (Theorem 2: works whenever
+// every good node has budget m >= 2*m0).
+func NewProtocolB(p Params) (Spec, error) { return core.NewProtocolB(p) }
+
+// NewBheter returns the Section 4 heterogeneous protocol: cross nodes get
+// budget m', everyone else m0 (Theorem 3).
+func NewBheter(p Params, t *Torus, cross Cross) (Spec, error) {
+	return core.NewBheter(p, t, cross)
+}
+
+// NewKooBaseline returns the repetition baseline (2tmf+1 per node) the
+// paper compares against.
+func NewKooBaseline(p Params) (Spec, error) { return koo.NewBaseline(p) }
+
+// NewFullBudget returns the maximal-effort protocol with budget m used by
+// the impossibility experiments.
+func NewFullBudget(p Params, m int) (Spec, error) { return core.NewFullBudget(p, m) }
+
+// NewCorruptor returns the general budget-aware denial strategy.
+func NewCorruptor() Strategy { return adversary.NewCorruptor() }
+
+// NewTargeted returns the construction adversary denying only the given
+// victim set.
+func NewTargeted(victims []bool) Strategy { return adversary.NewTargeted(victims) }
+
+// NewSpammer returns the wrong-value spammer (correctness stress).
+func NewSpammer() Strategy { return adversary.NewSpammer() }
+
+// RunSim executes a slot-level simulation (see SimConfig).
+func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// RunActor executes the fault-free concurrent runtime (see ActorConfig).
+func RunActor(cfg ActorConfig) (*ActorResult, error) { return actor.Run(cfg) }
+
+// RunReactive executes protocol Breactive with the AUED code (unknown
+// mf; see ReactiveConfig).
+func RunReactive(cfg ReactiveConfig) (*ReactiveResult, error) { return reactive.Run(cfg) }
+
+// NewCode builds the Section 5 two-level AUED code for k-bit payloads.
+func NewCode(k, n, t, mmax int) (*Code, error) { return auedcode.NewCode(k, n, t, mmax) }
+
+// M0 returns the Theorem 1 lower bound ⌈(2tmf+1)/(r(2r+1)−t)⌉ on the
+// good-node budget.
+func M0(r, t, mf int) int { return core.Params{R: r, T: t, MF: mf}.M0() }
+
+// BreakableT returns the Corollary 1 necessary bound: any larger t can
+// defeat every protocol with budgets m and mf.
+func BreakableT(m, mf, r int) int { return core.BreakableT(m, mf, r) }
+
+// TolerableT returns the Corollary 1 sufficient bound: any t up to it is
+// tolerated by protocol B.
+func TolerableT(m, mf, r int) int { return core.TolerableT(m, mf, r) }
+
+// Theorem4Budget returns the Section 5 worst-case sub-slot budget for a
+// good node when mf is unknown.
+func Theorem4Budget(n, t, mf, mmax, k int) int {
+	return core.Theorem4Budget(n, t, mf, mmax, k)
+}
+
+// CPAMaxT returns the certified-propagation fault threshold
+// (t < ½r(2r+1)) that Breactive inherits.
+func CPAMaxT(r int) int { return bv.MaxToleratedT(r) }

@@ -1,0 +1,118 @@
+package bftbcast_test
+
+import (
+	"testing"
+
+	"bftbcast"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	tor, err := bftbcast.NewTorus(20, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bftbcast.Params{R: 2, T: 3, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bftbcast.RunSim(bftbcast.SimConfig{
+		Torus: tor, Params: params, Spec: spec,
+		Placement: bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 1},
+		Strategy:  bftbcast.NewCorruptor(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.WrongDecisions != 0 {
+		t.Fatalf("quickstart run failed: %+v", res)
+	}
+}
+
+func TestFacadeBounds(t *testing.T) {
+	if got := bftbcast.M0(4, 1, 1000); got != 58 {
+		t.Fatalf("M0 = %d, want 58", got)
+	}
+	if got := bftbcast.CPAMaxT(4); got != 17 {
+		t.Fatalf("CPAMaxT = %d, want 17", got)
+	}
+	if bftbcast.TolerableT(8, 4, 2) > bftbcast.BreakableT(8, 4, 2) {
+		t.Fatal("Corollary 1 bounds inverted")
+	}
+	if bftbcast.Theorem4Budget(1024, 4, 10, 4096, 64) <= 0 {
+		t.Fatal("Theorem4Budget non-positive")
+	}
+}
+
+func TestFacadeReactive(t *testing.T) {
+	tor, err := bftbcast.NewTorus(15, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bftbcast.RunReactive(bftbcast.ReactiveConfig{
+		Torus: tor, T: 1, MF: 2, MMax: 32, PayloadBits: 16,
+		Placement: bftbcast.RandomPlacement{T: 1, Density: 0.05, Seed: 2},
+		Policy:    bftbcast.PolicyDisrupt,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("reactive run failed: %+v", res)
+	}
+}
+
+func TestFacadeActor(t *testing.T) {
+	tor, err := bftbcast.NewTorus(15, 15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bftbcast.Params{R: 1, T: 0, MF: 0}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bftbcast.RunActor(bftbcast.ActorConfig{Torus: tor, Params: params, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("actor run failed")
+	}
+}
+
+func TestFacadeCode(t *testing.T) {
+	c, err := bftbcast.NewCode(64, 1024, 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PayloadBits() != 64 || c.SubBitLength() != 34 {
+		t.Fatalf("code layout: k=%d L=%d", c.PayloadBits(), c.SubBitLength())
+	}
+}
+
+func TestFacadeBheterAndBaseline(t *testing.T) {
+	tor, err := bftbcast.NewTorus(20, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bftbcast.Params{R: 2, T: 2, MF: 5}
+	heter, err := bftbcast.NewBheter(p, tor, bftbcast.Cross{Center: 0, HalfWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := bftbcast.NewKooBaseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heter.AverageBudget(tor, 0) >= base.AverageBudget(tor, 0) {
+		t.Fatal("Bheter not cheaper than the baseline")
+	}
+	if _, err := bftbcast.NewFullBudget(p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if bftbcast.Span(0, 4, 0, 4).Area() != 25 {
+		t.Fatal("Span area")
+	}
+}

@@ -1,0 +1,56 @@
+// Command bftbench runs the experiment suite E1–E10 that regenerates the
+// paper's quantitative results and prints the resulting tables.
+//
+// Usage:
+//
+//	bftbench [-experiment E2] [-quick] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bftbcast/internal/exper"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bftbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	id := flag.String("experiment", "", "run a single experiment (E1..E10); empty = all")
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+
+	opts := exper.Options{Quick: *quick, Seed: *seed}
+	experiments := exper.All()
+	if *id != "" {
+		e, ok := exper.ByID(*id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *id)
+		}
+		experiments = []exper.Experiment{e}
+	}
+	failures := 0
+	for _, e := range experiments {
+		out, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if _, err := out.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		if !out.Passed {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Command bftsim runs one broadcast simulation from command-line flags
+// and prints the outcome, optionally tracing acceptances as JSON Lines.
+//
+// Examples:
+//
+//	bftsim -w 20 -h 20 -r 2 -t 3 -mf 2 -adversary random -density 0.1
+//	bftsim -w 45 -h 45 -r 4 -t 1 -mf 1000 -protocol full -m 59 -adversary figure2
+//	bftsim -w 15 -h 15 -r 2 -t 1 -mf 3 -protocol reactive -policy disrupt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bftbcast"
+	"bftbcast/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bftsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		w         = flag.Int("w", 20, "torus width (multiple of 2r+1)")
+		h         = flag.Int("h", 20, "torus height (multiple of 2r+1)")
+		r         = flag.Int("r", 2, "radio range")
+		t         = flag.Int("t", 3, "max bad nodes per neighborhood")
+		mf        = flag.Int("mf", 2, "bad node message budget")
+		protocol  = flag.String("protocol", "b", "protocol: b | bheter | koo | full | reactive")
+		m         = flag.Int("m", 0, "budget for -protocol full")
+		adv       = flag.String("adversary", "none", "adversary: none | random | sandwich | figure2")
+		density   = flag.Float64("density", 0.1, "bad density for -adversary random")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		policy    = flag.String("policy", "disrupt", "reactive attack policy: disrupt|forge|nackspam|mixed")
+		mmax      = flag.Int("mmax", 64, "loose budget bound known to the reactive protocol")
+		k         = flag.Int("k", 16, "payload bits for the reactive protocol")
+		traceFlag = flag.Bool("trace", false, "emit acceptance events as JSON lines")
+	)
+	flag.Parse()
+
+	tor, err := bftbcast.NewTorus(*w, *h, *r)
+	if err != nil {
+		return err
+	}
+	if *protocol == "reactive" {
+		return runReactive(tor, *t, *mf, *mmax, *k, *adv, *density, *seed, *policy)
+	}
+
+	params := bftbcast.Params{R: *r, T: *t, MF: *mf}
+	var spec bftbcast.Spec
+	switch *protocol {
+	case "b":
+		spec, err = bftbcast.NewProtocolB(params)
+	case "bheter":
+		spec, err = bftbcast.NewBheter(params, tor, bftbcast.Cross{Center: tor.ID(0, 0), HalfWidth: *r})
+	case "koo":
+		spec, err = bftbcast.NewKooBaseline(params)
+	case "full":
+		if *m <= 0 {
+			return fmt.Errorf("-protocol full needs -m")
+		}
+		spec, err = bftbcast.NewFullBudget(params, *m)
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg := bftbcast.SimConfig{Torus: tor, Params: params, Spec: spec, Source: tor.ID(0, 0)}
+	switch *adv {
+	case "none":
+	case "random":
+		cfg.Placement = bftbcast.RandomPlacement{T: *t, Density: *density, Seed: *seed}
+		cfg.Strategy = bftbcast.NewCorruptor()
+	case "sandwich":
+		sw := bftbcast.SandwichPlacement{YLow: *h/3 + 1, YHigh: *h/3 + 1 + 3**r, T: *t}
+		cfg.Placement = sw
+		cfg.Strategy = bftbcast.NewTargeted(sw.VictimBand(tor))
+	case "figure2":
+		cfg.Placement = bftbcast.LatticePlacement{Offsets: [][2]int{{*r, -*r}}}
+		victims := make([]bool, tor.Size())
+		for _, pr := range [][2]int{
+			{*r + 1, 1}, {1, *r + 1}, {*r + 1, -1}, {1, -(*r + 1)},
+			{-(*r + 1), 1}, {-1, *r + 1}, {-(*r + 1), -1}, {-1, -(*r + 1)},
+		} {
+			victims[tor.ID(pr[0], pr[1])] = true
+		}
+		cfg.Strategy = bftbcast.NewTargeted(victims)
+	default:
+		return fmt.Errorf("unknown adversary %q", *adv)
+	}
+
+	var rec trace.Recorder = trace.Nop{}
+	if *traceFlag {
+		rec = trace.NewJSONL(os.Stdout)
+		cfg.OnAccept = func(slot int, id bftbcast.NodeID, v bftbcast.Value) {
+			_ = rec.Record(trace.Event{Slot: slot, Node: int32(id), Kind: trace.KindAccept, Value: int32(v)})
+		}
+	}
+
+	res, err := bftbcast.RunSim(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol=%s adversary=%s torus=%dx%d r=%d t=%d mf=%d\n",
+		spec.Name, *adv, *w, *h, *r, *t, *mf)
+	fmt.Printf("completed=%v stalled=%v timedOut=%v slots=%d\n",
+		res.Completed, res.Stalled, res.TimedOut, res.Slots)
+	fmt.Printf("decided=%d/%d wrongDecisions=%d\n", res.DecidedGood, res.TotalGood, res.WrongDecisions)
+	fmt.Printf("goodMessages=%d badMessages=%d avgSends=%.2f maxSends=%d\n",
+		res.GoodMessages, res.BadMessages, res.AvgGoodSends, res.MaxGoodSends)
+	return nil
+}
+
+func runReactive(tor *bftbcast.Torus, t, mf, mmax, k int, adv string, density float64, seed uint64, policy string) error {
+	var pol bftbcast.AttackPolicy
+	switch policy {
+	case "disrupt":
+		pol = bftbcast.PolicyDisrupt
+	case "forge":
+		pol = bftbcast.PolicyForge
+	case "nackspam":
+		pol = bftbcast.PolicyNackSpam
+	case "mixed":
+		pol = bftbcast.PolicyMixed
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	cfg := bftbcast.ReactiveConfig{
+		Torus: tor, T: t, MF: mf, MMax: mmax, PayloadBits: k,
+		Source: tor.ID(0, 0), Policy: pol, Seed: seed,
+	}
+	if adv == "random" {
+		cfg.Placement = bftbcast.RandomPlacement{T: t, Density: density, Seed: seed}
+	}
+	res, err := bftbcast.RunReactive(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol=Breactive policy=%s t=%d mf=%d mmax=%d k=%d L=%d K=%d\n",
+		pol, t, mf, mmax, k, res.SubBitLength, res.CodewordBits)
+	fmt.Printf("completed=%v decided=%d/%d wrong=%d forged=%d\n",
+		res.Completed, res.DecidedGood, res.TotalGood, res.WrongDecisions, res.ForgedDeliveries)
+	fmt.Printf("rounds=%d maxMsgs/node=%d (bound %d) maxSubSlots=%d (Theorem4 %d)\n",
+		res.MessageRounds, res.MaxNodeMessages, 2*(t*mf+1), res.MaxNodeSubSlots, res.Theorem4SubSlots)
+	return nil
+}

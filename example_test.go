@@ -1,0 +1,54 @@
+package bftbcast_test
+
+import (
+	"fmt"
+
+	"bftbcast"
+)
+
+// ExampleM0 shows the Figure 2 parameters: at r=4, t=1, mf=1000 a good
+// node needs at least 58 messages, and protocol B works with twice that.
+func ExampleM0() {
+	m0 := bftbcast.M0(4, 1, 1000)
+	fmt.Println(m0, 2*m0)
+	// Output: 58 116
+}
+
+// ExampleNewProtocolB runs the paper's protocol B on a small fault-free
+// torus.
+func ExampleNewProtocolB() {
+	params := bftbcast.Params{R: 2, T: 3, MF: 2}
+	tor, err := bftbcast.NewTorus(20, 20, params.R)
+	if err != nil {
+		panic(err)
+	}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		panic(err)
+	}
+	res, err := bftbcast.RunSim(bftbcast.SimConfig{
+		Torus: tor, Params: params, Spec: spec, Source: tor.ID(0, 0),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Completed, res.WrongDecisions)
+	// Output: true 0
+}
+
+// ExampleNewCode encodes a message with the Section 5 AUED code and shows
+// the layout: K stays close to k while the I-code would double it.
+func ExampleNewCode() {
+	code, err := bftbcast.NewCode(64, 1024, 4, 4096)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(code.CodewordBits(), code.SubBitLength())
+	// Output: 79 34
+}
+
+// ExampleTolerableT evaluates Corollary 1 for a given budget pair.
+func ExampleTolerableT() {
+	fmt.Println(bftbcast.TolerableT(8, 4, 2), bftbcast.BreakableT(8, 4, 2))
+	// Output: 3 4
+}

@@ -1,0 +1,55 @@
+// Stripeattack reproduces the paper's impossibility constructions on one
+// torus: the Theorem 1 stripe (as a sandwich, since a single stripe does
+// not disconnect a torus) starves a whole band when good budgets fall
+// below m0, while the same setup completes at m = 2m0 (Theorem 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bftbcast"
+)
+
+func main() {
+	params := bftbcast.Params{R: 2, T: 5, MF: 4}
+	m0 := bftbcast.M0(params.R, params.T, params.MF)
+	fmt.Printf("fault model r=%d t=%d mf=%d: m0=%d, 2m0=%d\n",
+		params.R, params.T, params.MF, m0, 2*m0)
+
+	tor, err := bftbcast.NewTorus(20, 20, params.R)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two stripes of bad nodes face each other across rows 9..12: the
+	// band in between can only be reached through them.
+	sandwich := bftbcast.SandwichPlacement{YLow: 7, YHigh: 13, T: params.T}
+	victims := sandwich.VictimBand(tor)
+
+	for _, m := range []int{m0 - 4, m0, 2 * m0} {
+		spec, err := bftbcast.NewFullBudget(params, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := bftbcast.RunSim(bftbcast.SimConfig{
+			Torus:     tor,
+			Params:    params,
+			Spec:      spec,
+			Source:    tor.ID(0, 0),
+			Placement: sandwich,
+			Strategy:  bftbcast.NewTargeted(victims),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		blocked := 0
+		for i, v := range victims {
+			if v && !res.Decided[i] {
+				blocked++
+			}
+		}
+		fmt.Printf("m=%3d (%.2f*m0): completed=%-5v bandBlocked=%d wrongDecisions=%d adversarySpent=%d\n",
+			m, float64(m)/float64(m0), res.Completed, blocked, res.WrongDecisions, res.BadMessages)
+	}
+	fmt.Println("expected: blocked band below m0, completion at 2m0, and no wrong decisions ever (Lemma 1)")
+}

@@ -1,0 +1,263 @@
+// Package actor is a concurrent runtime for the threshold broadcast
+// protocols: every node runs as its own goroutine communicating over
+// channels, with slots synchronized by a coordinator. It executes the
+// same protocol semantics as the sequential engine (package sim) in the
+// fault-free setting and is checked for equivalence against it; its
+// purpose is to exercise the protocols under Go's race detector with real
+// message passing, the way a deployment harness would.
+//
+// Adversarial strategies are not supported here: the worst-case adversary
+// of package adversary is omniscient and deliberately sequential, which
+// contradicts a concurrent runtime by construction. Use sim.Run for
+// adversarial experiments.
+package actor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/radio"
+	"bftbcast/internal/sched"
+)
+
+// Config describes a fault-free concurrent run.
+type Config struct {
+	Torus    *grid.Torus
+	Params   core.Params
+	Spec     core.Spec
+	Source   grid.NodeID
+	MaxSlots int
+}
+
+// Result mirrors the sequential engine's outcome for the fields the
+// fault-free setting produces.
+type Result struct {
+	Completed   bool
+	Slots       int
+	DecidedGood int
+	TotalGood   int
+	Sent        []int32
+}
+
+type cmdKind int
+
+const (
+	cmdQuery cmdKind = iota + 1
+	cmdDeliver
+	cmdStop
+)
+
+type command struct {
+	kind  cmdKind
+	value radio.Value
+	reply chan txReply
+	wg    *sync.WaitGroup
+}
+
+type txReply struct {
+	emit  bool
+	value radio.Value
+	state nodeState // filled on stop
+}
+
+type nodeState struct {
+	decided bool
+	value   radio.Value
+	sent    int32
+}
+
+type acceptMsg struct {
+	id    grid.NodeID
+	sends int
+}
+
+// node is the per-goroutine protocol state machine.
+type node struct {
+	id        grid.NodeID
+	threshold int32
+	sends     int
+	counts    map[radio.Value]int32
+	st        nodeState
+	pending   int
+	cmds      chan command
+	accepts   chan<- acceptMsg
+}
+
+func (n *node) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for cmd := range n.cmds {
+		switch cmd.kind {
+		case cmdQuery:
+			r := txReply{}
+			if n.pending > 0 {
+				n.pending--
+				n.st.sent++
+				r = txReply{emit: true, value: n.st.value}
+			}
+			cmd.reply <- r
+		case cmdDeliver:
+			n.deliver(cmd.value)
+			cmd.wg.Done()
+		case cmdStop:
+			cmd.reply <- txReply{state: n.st}
+			return
+		}
+	}
+}
+
+func (n *node) deliver(v radio.Value) {
+	n.counts[v]++
+	if n.st.decided || n.counts[v] != n.threshold {
+		return
+	}
+	n.st.decided = true
+	n.st.value = v
+	n.pending = n.sends
+	n.accepts <- acceptMsg{id: n.id, sends: n.sends}
+}
+
+// Run executes the configured broadcast with one goroutine per node.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Torus == nil {
+		return nil, errors.New("actor: config needs a torus")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Params.R != cfg.Torus.Range() {
+		return nil, fmt.Errorf("actor: params r=%d but torus r=%d", cfg.Params.R, cfg.Torus.Range())
+	}
+	schedule, err := sched.New(cfg.Torus)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Torus.Size()
+	if int(cfg.Source) < 0 || int(cfg.Source) >= n {
+		return nil, fmt.Errorf("actor: source %d out of range", cfg.Source)
+	}
+
+	accepts := make(chan acceptMsg, n)
+	nodes := make([]*node, n)
+	var nodeWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		id := grid.NodeID(i)
+		nodes[i] = &node{
+			id:        id,
+			threshold: int32(cfg.Spec.Threshold),
+			sends:     cfg.Spec.Sends(id),
+			counts:    make(map[radio.Value]int32, 2),
+			cmds:      make(chan command, 1),
+			accepts:   accepts,
+		}
+	}
+	// The source starts decided with the repeat budget pending.
+	src := nodes[cfg.Source]
+	src.st.decided = true
+	src.st.value = radio.ValueTrue
+	src.pending = cfg.Spec.SourceRepeats
+
+	nodeWG.Add(n)
+	for _, nd := range nodes {
+		go nd.run(&nodeWG)
+	}
+
+	colorNodes := make([][]grid.NodeID, schedule.Period())
+	for i := 0; i < n; i++ {
+		c := schedule.ColorOf(grid.NodeID(i))
+		colorNodes[c] = append(colorNodes[c], grid.NodeID(i))
+	}
+
+	maxSlots := cfg.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = schedule.Period() * (cfg.Spec.SourceRepeats +
+			(cfg.Torus.Width()+cfg.Torus.Height()+2)*(maxSends(cfg)+1) + 2*schedule.Period())
+	}
+
+	medium := radio.NewMedium(cfg.Torus)
+	pendingTotal := int64(cfg.Spec.SourceRepeats)
+	var (
+		txs        []radio.Tx
+		deliveries []radio.Delivery
+		replyChs   []chan txReply
+	)
+	slot := 0
+	for ; pendingTotal > 0 && slot < maxSlots; slot++ {
+		color := schedule.SlotColor(slot)
+		// Query the slot's color class concurrently.
+		candidates := colorNodes[color]
+		replyChs = replyChs[:0]
+		for _, id := range candidates {
+			ch := make(chan txReply, 1)
+			replyChs = append(replyChs, ch)
+			nodes[id].cmds <- command{kind: cmdQuery, reply: ch}
+		}
+		txs = txs[:0]
+		for i, ch := range replyChs {
+			r := <-ch
+			if r.emit {
+				pendingTotal--
+				txs = append(txs, radio.Tx{From: candidates[i], Value: r.value})
+			}
+		}
+		if len(txs) == 0 {
+			continue
+		}
+		deliveries = deliveries[:0]
+		if err := medium.Resolve(txs, func(d radio.Delivery) {
+			deliveries = append(deliveries, d)
+		}); err != nil {
+			return nil, err
+		}
+		var slotWG sync.WaitGroup
+		slotWG.Add(len(deliveries))
+		for _, d := range deliveries {
+			nodes[d.To].cmds <- command{kind: cmdDeliver, value: d.Value, wg: &slotWG}
+		}
+		slotWG.Wait()
+		// Collect the slot's acceptances (buffered; no acceptances can
+		// be in flight after the barrier).
+		for {
+			select {
+			case a := <-accepts:
+				pendingTotal += int64(a.sends)
+			default:
+				goto drained
+			}
+		}
+	drained:
+	}
+
+	// Stop all nodes and gather final states.
+	res := &Result{Slots: slot, TotalGood: n, Sent: make([]int32, n)}
+	stopCh := make(chan txReply, 1)
+	completed := true
+	for i, nd := range nodes {
+		nd.cmds <- command{kind: cmdStop, reply: stopCh}
+		st := (<-stopCh).state
+		res.Sent[i] = st.sent
+		if st.decided && st.value == radio.ValueTrue {
+			res.DecidedGood++
+		} else {
+			completed = false
+		}
+	}
+	nodeWG.Wait()
+	res.Completed = completed && pendingTotal == 0
+	return res, nil
+}
+
+func maxSends(cfg Config) int {
+	maxS := 0
+	for i := 0; i < cfg.Torus.Size(); i++ {
+		if s := cfg.Spec.Sends(grid.NodeID(i)); s > maxS {
+			maxS = s
+		}
+	}
+	return maxS
+}

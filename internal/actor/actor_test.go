@@ -1,0 +1,103 @@
+package actor
+
+import (
+	"testing"
+
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/sim"
+)
+
+func TestConcurrentBroadcastCompletes(t *testing.T) {
+	tor := grid.MustNew(20, 20, 2)
+	p := core.Params{R: 2, T: 3, MF: 2}
+	spec, err := core.NewProtocolB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("concurrent run incomplete: %d/%d", res.DecidedGood, res.TotalGood)
+	}
+}
+
+func TestEquivalenceWithSequentialEngine(t *testing.T) {
+	// The actor runtime must produce exactly the sequential engine's
+	// outcome on fault-free runs: same decisions, same per-node send
+	// counts, same slot count.
+	for _, tc := range []struct {
+		w, h int
+		p    core.Params
+		srcX int
+	}{
+		{15, 15, core.Params{R: 2, T: 0, MF: 0}, 0},
+		{20, 20, core.Params{R: 2, T: 3, MF: 2}, 7},
+		{21, 21, core.Params{R: 3, T: 5, MF: 1}, 3},
+	} {
+		tor := grid.MustNew(tc.w, tc.h, tc.p.R)
+		spec, err := core.NewProtocolB(tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := tor.ID(tc.srcX, tc.srcX)
+		seq, err := sim.Run(sim.Config{Torus: tor, Params: tc.p, Spec: spec, Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conc, err := Run(Config{Torus: tor, Params: tc.p, Spec: spec, Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conc.Completed != seq.Completed || conc.DecidedGood != seq.DecidedGood {
+			t.Fatalf("%+v: outcome mismatch: actor %+v vs sim %+v", tc.p, conc, seq)
+		}
+		if conc.Slots != seq.Slots {
+			t.Fatalf("%+v: slots %d vs %d", tc.p, conc.Slots, seq.Slots)
+		}
+		for i := range conc.Sent {
+			if conc.Sent[i] != seq.Sent[i] {
+				t.Fatalf("%+v: node %d sent %d vs %d", tc.p, i, conc.Sent[i], seq.Sent[i])
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tor := grid.MustNew(10, 10, 2)
+	p := core.Params{R: 2, T: 1, MF: 1}
+	spec, err := core.NewProtocolB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Params: p, Spec: spec}); err == nil {
+		t.Fatal("nil torus accepted")
+	}
+	if _, err := Run(Config{Torus: tor, Params: core.Params{R: 3, T: 1, MF: 1}, Spec: spec}); err == nil {
+		t.Fatal("range mismatch accepted")
+	}
+	if _, err := Run(Config{Torus: tor, Params: p, Spec: spec, Source: grid.NodeID(tor.Size())}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := Run(Config{Torus: tor, Params: p, Spec: core.Spec{}}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestTimeoutReported(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	p := core.Params{R: 2, T: 0, MF: 0}
+	spec, err := core.NewProtocolB(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0), MaxSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("3-slot run cannot complete")
+	}
+}

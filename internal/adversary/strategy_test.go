@@ -1,0 +1,275 @@
+package adversary
+
+import (
+	"testing"
+
+	"bftbcast/internal/grid"
+	"bftbcast/internal/radio"
+)
+
+// fakeView is a scriptable adversary.View for unit-testing strategies
+// without the simulation engine.
+type fakeView struct {
+	tor       *grid.Torus
+	bad       map[grid.NodeID]bool
+	decided   map[grid.NodeID]bool
+	correct   map[grid.NodeID]int
+	supply    map[grid.NodeID]int
+	budget    map[grid.NodeID]int
+	threshold int
+}
+
+func (v *fakeView) Torus() *grid.Torus               { return v.tor }
+func (v *fakeView) IsBad(id grid.NodeID) bool        { return v.bad[id] }
+func (v *fakeView) IsDecided(id grid.NodeID) bool    { return v.decided[id] }
+func (v *fakeView) CorrectCount(id grid.NodeID) int  { return v.correct[id] }
+func (v *fakeView) Threshold() int                   { return v.threshold }
+func (v *fakeView) Supply(id grid.NodeID) int        { return v.supply[id] }
+func (v *fakeView) BadBudgetLeft(id grid.NodeID) int { return v.budget[id] }
+
+var _ View = (*fakeView)(nil)
+
+func newFakeView(t *testing.T) *fakeView {
+	t.Helper()
+	return &fakeView{
+		tor:       grid.MustNew(15, 15, 2),
+		bad:       map[grid.NodeID]bool{},
+		decided:   map[grid.NodeID]bool{},
+		correct:   map[grid.NodeID]int{},
+		supply:    map[grid.NodeID]int{},
+		budget:    map[grid.NodeID]int{},
+		threshold: 5,
+	}
+}
+
+func TestIdleNeverJams(t *testing.T) {
+	v := newFakeView(t)
+	d := []radio.Delivery{{To: 1, Value: radio.ValueTrue, From: 2}}
+	if jams := (Idle{}).Jams(v, 0, d); jams != nil {
+		t.Fatalf("Idle jammed: %v", jams)
+	}
+}
+
+func TestCorruptorDeniesCrossingDelivery(t *testing.T) {
+	v := newFakeView(t)
+	victim := v.tor.ID(5, 5)
+	from := v.tor.ID(6, 5)
+	badNode := v.tor.ID(4, 5)
+	v.bad[badNode] = true
+	v.budget[badNode] = 10
+	v.correct[victim] = v.threshold - 1 // next copy crosses
+	v.supply[victim] = 3
+
+	c := NewCorruptor()
+	jams := c.Jams(v, 0, []radio.Delivery{{To: victim, Value: radio.ValueTrue, From: from}})
+	if len(jams) != 1 {
+		t.Fatalf("jams = %v, want exactly one", jams)
+	}
+	j := jams[0]
+	if j.From != badNode || !j.Jam || j.Value != radio.ValueFalse {
+		t.Fatalf("jam = %+v", j)
+	}
+}
+
+func TestCorruptorAllowsBelowThreshold(t *testing.T) {
+	// A lone needy victim (not crossing) is deferred by the allow-late
+	// rule; a victim with insufficient potential is ignored entirely.
+	v := newFakeView(t)
+	victim := v.tor.ID(5, 5)
+	badNode := v.tor.ID(4, 5)
+	v.bad[badNode] = true
+	v.budget[badNode] = 10
+	v.correct[victim] = 1
+	v.supply[victim] = 100 // needy but lone: defer
+
+	c := NewCorruptor()
+	d := []radio.Delivery{{To: victim, Value: radio.ValueTrue, From: v.tor.ID(6, 5)}}
+	if jams := c.Jams(v, 0, d); len(jams) != 0 {
+		t.Fatalf("lone needy victim jammed early: %v", jams)
+	}
+	v.supply[victim] = 0 // cannot ever reach threshold
+	if jams := c.Jams(v, 1, d); len(jams) != 0 {
+		t.Fatalf("hopeless victim jammed: %v", jams)
+	}
+}
+
+func TestCorruptorFeasibilityGate(t *testing.T) {
+	// Crossing delivery, but the remaining supply exceeds all nearby
+	// budget: blocking is hopeless, so the corruptor saves its budget.
+	v := newFakeView(t)
+	victim := v.tor.ID(5, 5)
+	badNode := v.tor.ID(4, 5)
+	v.bad[badNode] = true
+	v.budget[badNode] = 2
+	v.correct[victim] = v.threshold - 1
+	v.supply[victim] = 50 // needs 51 more denials, only 2 available
+
+	c := NewCorruptor()
+	d := []radio.Delivery{{To: victim, Value: radio.ValueTrue, From: v.tor.ID(6, 5)}}
+	if jams := c.Jams(v, 0, d); len(jams) != 0 {
+		t.Fatalf("hopeless blocking attempted: %v", jams)
+	}
+	// The Targeted variant has no such gate: the construction
+	// guarantees feasibility.
+	victims := make([]bool, v.tor.Size())
+	victims[victim] = true
+	tg := NewTargeted(victims)
+	if jams := tg.Jams(v, 0, d); len(jams) != 1 {
+		t.Fatalf("targeted did not jam: %v", jams)
+	}
+}
+
+func TestCorruptorSharedPreemptiveDenial(t *testing.T) {
+	// Two needy victims hear the SAME transmission and share a bad
+	// node: one preemptive jam serves both, even before either crosses.
+	v := newFakeView(t)
+	from := v.tor.ID(5, 5)
+	u1 := v.tor.ID(6, 6)
+	u2 := v.tor.ID(4, 4)
+	badNode := v.tor.ID(5, 6) // within r of both victims
+	v.bad[badNode] = true
+	v.budget[badNode] = 10
+	for _, u := range []grid.NodeID{u1, u2} {
+		v.correct[u] = 0
+		v.supply[u] = 5 // needy (0+1+5 >= threshold) and feasibly blockable
+	}
+	c := NewCorruptor()
+	jams := c.Jams(v, 0, []radio.Delivery{
+		{To: u1, Value: radio.ValueTrue, From: from},
+		{To: u2, Value: radio.ValueTrue, From: from},
+	})
+	if len(jams) != 1 || jams[0].From != badNode {
+		t.Fatalf("shared jam = %v, want one from %d", jams, badNode)
+	}
+}
+
+func TestCorruptorSkipsDecidedBadAndWrongValues(t *testing.T) {
+	v := newFakeView(t)
+	badNode := v.tor.ID(4, 5)
+	v.bad[badNode] = true
+	v.budget[badNode] = 10
+
+	decided := v.tor.ID(5, 5)
+	v.decided[decided] = true
+	v.correct[decided] = 100
+
+	badRx := v.tor.ID(5, 6)
+	v.bad[badRx] = true
+
+	c := NewCorruptor()
+	jams := c.Jams(v, 0, []radio.Delivery{
+		{To: decided, Value: radio.ValueTrue, From: v.tor.ID(6, 5)},
+		{To: badRx, Value: radio.ValueTrue, From: v.tor.ID(6, 6)},
+		{To: v.tor.ID(3, 5), Value: radio.ValueFalse, From: v.tor.ID(3, 6)},
+	})
+	if len(jams) != 0 {
+		t.Fatalf("corruptor jammed ineligible deliveries: %v", jams)
+	}
+}
+
+func TestCorruptorRespectsBudget(t *testing.T) {
+	v := newFakeView(t)
+	victim := v.tor.ID(5, 5)
+	badNode := v.tor.ID(4, 5)
+	v.bad[badNode] = true
+	v.budget[badNode] = 0 // broke
+	v.correct[victim] = v.threshold - 1
+	v.supply[victim] = 0
+
+	c := NewCorruptor()
+	d := []radio.Delivery{{To: victim, Value: radio.ValueTrue, From: v.tor.ID(6, 5)}}
+	if jams := c.Jams(v, 0, d); len(jams) != 0 {
+		t.Fatalf("broke bad node jammed: %v", jams)
+	}
+}
+
+func TestTargetedIgnoresNonVictims(t *testing.T) {
+	v := newFakeView(t)
+	victim := v.tor.ID(5, 5)
+	other := v.tor.ID(8, 8)
+	badNode := v.tor.ID(4, 5)
+	badNode2 := v.tor.ID(8, 7)
+	v.bad[badNode] = true
+	v.bad[badNode2] = true
+	v.budget[badNode] = 5
+	v.budget[badNode2] = 5
+	for _, u := range []grid.NodeID{victim, other} {
+		v.correct[u] = v.threshold - 1
+		v.supply[u] = 1
+	}
+	victims := make([]bool, v.tor.Size())
+	victims[victim] = true
+	tg := NewTargeted(victims)
+	jams := tg.Jams(v, 0, []radio.Delivery{
+		{To: victim, Value: radio.ValueTrue, From: v.tor.ID(6, 5)},
+		{To: other, Value: radio.ValueTrue, From: v.tor.ID(7, 8)},
+	})
+	if len(jams) != 1 || jams[0].From != badNode {
+		t.Fatalf("jams = %v, want only the victim's", jams)
+	}
+}
+
+func TestPickJammerPrefersTransmitterProximity(t *testing.T) {
+	v := newFakeView(t)
+	victim := v.tor.ID(5, 5)
+	from := v.tor.ID(7, 5)
+	near := v.tor.ID(6, 5) // distance 1 from transmitter
+	far := v.tor.ID(3, 5)  // distance 4
+	v.bad[near] = true
+	v.bad[far] = true
+	v.budget[near] = 1
+	v.budget[far] = 1
+	if got := pickJammer(v, victim, from, nil); got != near {
+		t.Fatalf("pickJammer = %d, want %d", got, near)
+	}
+	// Excluding the near one falls back to the far one.
+	if got := pickJammer(v, victim, from, map[grid.NodeID]bool{near: true}); got != far {
+		t.Fatalf("pickJammer with exclude = %d, want %d", got, far)
+	}
+	// No budget anywhere: none.
+	v.budget[near] = 0
+	v.budget[far] = 0
+	if got := pickJammer(v, victim, from, nil); got != grid.None {
+		t.Fatalf("pickJammer broke = %d, want None", got)
+	}
+}
+
+func TestSpammerSpendsEveryBadNode(t *testing.T) {
+	v := newFakeView(t)
+	b1 := v.tor.ID(2, 2)
+	b2 := v.tor.ID(10, 10)
+	v.bad[b1] = true
+	v.bad[b2] = true
+	v.budget[b1] = 1
+	v.budget[b2] = 3
+	s := NewSpammer()
+	jams := s.Jams(v, 0, nil)
+	if len(jams) != 2 {
+		t.Fatalf("jams = %v, want 2", jams)
+	}
+	for _, j := range jams {
+		if !j.Jam || j.Value != radio.ValueFalse {
+			t.Fatalf("jam = %+v", j)
+		}
+	}
+	// Exhausted nodes drop out.
+	v.budget[b1] = 0
+	if jams := s.Jams(v, 1, nil); len(jams) != 1 || jams[0].From != b2 {
+		t.Fatalf("jams after exhaustion = %v", jams)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (Idle{}).Name() != "idle" {
+		t.Error("Idle name")
+	}
+	if NewCorruptor().Name() != "corruptor" {
+		t.Error("Corruptor name")
+	}
+	if NewTargeted(nil).Name() != "targeted" {
+		t.Error("Targeted name")
+	}
+	if NewSpammer().Name() != "spammer" {
+		t.Error("Spammer name")
+	}
+}

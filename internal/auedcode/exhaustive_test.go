@@ -1,0 +1,107 @@
+package auedcode
+
+import "testing"
+
+// TestExhaustiveDetectionSmallK enumerates EVERY payload of k=4 bits and
+// EVERY single and double 0->1 flip on its codeword, asserting detection.
+// This is the AUED guarantee verified exhaustively rather than
+// probabilistically: 16 payloads x up to (z + z(z-1)/2) attacks each.
+func TestExhaustiveDetectionSmallK(t *testing.T) {
+	c := mustCode(t, 4)
+	attacks, detected := 0, 0
+	for v := 0; v < 16; v++ {
+		payload := NewBitString(4)
+		payload.WriteUint(uint(v), 0, 4)
+		w, err := c.EncodeBits(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var zeros []int
+		for i := 0; i < w.Len(); i++ {
+			if w.Get(i) == 0 {
+				zeros = append(zeros, i)
+			}
+		}
+		// All single flips.
+		for _, z := range zeros {
+			attacked := w.Clone()
+			attacked.Set(z, 1)
+			attacks++
+			if c.Verify(attacked) != nil {
+				detected++
+			}
+		}
+		// All double flips.
+		for i := 0; i < len(zeros); i++ {
+			for j := i + 1; j < len(zeros); j++ {
+				attacked := w.Clone()
+				attacked.Set(zeros[i], 1)
+				attacked.Set(zeros[j], 1)
+				attacks++
+				if c.Verify(attacked) != nil {
+					detected++
+				}
+			}
+		}
+	}
+	if attacks == 0 || detected != attacks {
+		t.Fatalf("exhaustive detection: %d/%d", detected, attacks)
+	}
+	t.Logf("exhaustively verified %d up-flip attacks on all 16 payloads", attacks)
+}
+
+// TestExhaustiveRoundTripSmallK decodes every k=6 payload back exactly.
+func TestExhaustiveRoundTripSmallK(t *testing.T) {
+	c := mustCode(t, 6)
+	for v := 0; v < 64; v++ {
+		payload := NewBitString(6)
+		payload.WriteUint(uint(v), 0, 6)
+		w, err := c.EncodeBits(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeBits(w)
+		if err != nil {
+			t.Fatalf("payload %d: %v", v, err)
+		}
+		if !got.Equal(payload) {
+			t.Fatalf("payload %d: round trip mismatch", v)
+		}
+	}
+}
+
+// TestNoValidCodewordWithinUpFlipReach verifies, for k=4, that no two
+// DISTINCT valid codewords are ordered by the bitwise <= relation: the
+// adversary can only add ones, so this is exactly the condition for
+// all-unidirectional error detection between codewords.
+func TestNoValidCodewordWithinUpFlipReach(t *testing.T) {
+	c := mustCode(t, 4)
+	words := make([]BitString, 0, 16)
+	for v := 0; v < 16; v++ {
+		payload := NewBitString(4)
+		payload.WriteUint(uint(v), 0, 4)
+		w, err := c.EncodeBits(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words = append(words, w)
+	}
+	leq := func(a, b BitString) bool { // a <= b bitwise
+		for i := 0; i < a.Len(); i++ {
+			if a.Get(i) == 1 && b.Get(i) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range words {
+		for j := range words {
+			if i == j {
+				continue
+			}
+			if leq(words[i], words[j]) {
+				t.Fatalf("codeword %d is bitwise-below codeword %d: up-flips could forge it", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package auedcode
+
+import (
+	"fmt"
+
+	"bftbcast/internal/stats"
+)
+
+// Codeword is a fully encoded message: the bit-level codeword plus its
+// sub-bit expansion, where bit i occupies sub-slots [i·L, (i+1)·L).
+// A sub-bit 1 means signal present ("u"), 0 means silence ("−").
+type Codeword struct {
+	code *Code
+	Bits BitString // bit-level codeword (K bits)
+	Sub  BitString // sub-bit expansion (K·L bits)
+}
+
+// Encode produces a transmittable codeword: every 0-bit becomes L
+// silences, every 1-bit a uniformly random non-zero pattern of L
+// sub-bits. rng drives the pattern choice; two encodings of the same
+// payload differ, which is what makes 1→0 erasure a guessing game.
+func (c *Code) Encode(payload BitString, rng *stats.RNG) (*Codeword, error) {
+	bitsW, err := c.EncodeBits(payload)
+	if err != nil {
+		return nil, err
+	}
+	sub := NewBitString(c.n * c.l)
+	for i := 0; i < c.n; i++ {
+		if bitsW.Get(i) == 0 {
+			continue
+		}
+		c.randomPattern(sub, i, rng)
+	}
+	return &Codeword{code: c, Bits: bitsW, Sub: sub}, nil
+}
+
+// randomPattern fills bit i's sub-slots with a uniformly random non-zero
+// pattern.
+func (c *Code) randomPattern(sub BitString, bit int, rng *stats.RNG) {
+	base := bit * c.l
+	for {
+		nonzero := false
+		for j := 0; j < c.l; j++ {
+			v := 0
+			if rng.Bool() {
+				v = 1
+				nonzero = true
+			}
+			sub.Set(base+j, v)
+		}
+		if nonzero {
+			return
+		}
+	}
+}
+
+// DecodeSub collapses a received sub-bit string to bit level: a bit is 1
+// when any of its sub-slots carries signal.
+func (c *Code) DecodeSub(sub BitString) (BitString, error) {
+	if sub.Len() != c.n*c.l {
+		return BitString{}, fmt.Errorf("auedcode: sub-bit string has %d bits, want %d", sub.Len(), c.n*c.l)
+	}
+	out := NewBitString(c.n)
+	for i := 0; i < c.n; i++ {
+		base := i * c.l
+		for j := 0; j < c.l; j++ {
+			if sub.Get(base+j) == 1 {
+				out.Set(i, 1)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReceiveSub decodes and verifies a received sub-bit string, returning
+// the payload or ErrIntegrity.
+func (c *Code) ReceiveSub(sub BitString) (BitString, error) {
+	bitsW, err := c.DecodeSub(sub)
+	if err != nil {
+		return BitString{}, err
+	}
+	return c.DecodeBits(bitsW)
+}
+
+// The attack primitives below mutate a copy of the transmitted sub-bits,
+// modelling what a receiver inside the attacker's range observes.
+
+// AttackFlipUp emits signal into one sub-slot of the given bit, turning a
+// 0-bit into a 1 at the receiver. It always succeeds (energy cannot be
+// removed by adding energy) and returns the attacked sub-bit string.
+func (cw *Codeword) AttackFlipUp(bit int) (BitString, error) {
+	if bit < 0 || bit >= cw.code.n {
+		return BitString{}, fmt.Errorf("auedcode: bit %d out of range", bit)
+	}
+	out := cw.Sub.Clone()
+	out.Set(bit*cw.code.l, 1)
+	return out, nil
+}
+
+// AttackCancel attempts to erase the given bit by transmitting the
+// inverse of a guessed pattern: sub-slots where the guess matches the
+// transmitted signal are cancelled, sub-slots where it does not acquire
+// new signal. The result at the receiver is transmitted XOR guess, so the
+// erasure succeeds only when the guess equals the pattern exactly.
+func (cw *Codeword) AttackCancel(bit int, guess BitString) (BitString, error) {
+	if bit < 0 || bit >= cw.code.n {
+		return BitString{}, fmt.Errorf("auedcode: bit %d out of range", bit)
+	}
+	if guess.Len() != cw.code.l {
+		return BitString{}, fmt.Errorf("auedcode: guess has %d sub-bits, want %d", guess.Len(), cw.code.l)
+	}
+	out := cw.Sub.Clone()
+	base := bit * cw.code.l
+	for j := 0; j < cw.code.l; j++ {
+		out.Set(base+j, out.Get(base+j)^guess.Get(j))
+	}
+	return out, nil
+}
+
+// AttackCancelRandom attempts a cancel with a uniformly random non-zero
+// guess, the best an adversary without pattern knowledge can do. It
+// returns the attacked sub-bits and whether the erasure succeeded
+// (probability 1/(2^L − 1) against a transmitted 1-bit).
+func (cw *Codeword) AttackCancelRandom(bit int, rng *stats.RNG) (BitString, bool, error) {
+	guess := NewBitString(cw.code.l)
+	for guess.IsZero() {
+		for j := 0; j < cw.code.l; j++ {
+			v := 0
+			if rng.Bool() {
+				v = 1
+			}
+			guess.Set(j, v)
+		}
+	}
+	out, err := cw.AttackCancel(bit, guess)
+	if err != nil {
+		return BitString{}, false, err
+	}
+	base := bit * cw.code.l
+	erased := true
+	for j := 0; j < cw.code.l; j++ {
+		if out.Get(base+j) == 1 {
+			erased = false
+			break
+		}
+	}
+	return out, erased, nil
+}
+
+// ForgeProbability returns the design bound on an undetectable
+// alteration: the adversary must erase at least one 1-bit, succeeding
+// with probability 1/(2^L − 1) per attempt.
+func (c *Code) ForgeProbability() float64 {
+	if c.l >= 63 {
+		return 1.0 / float64(uint64(1)<<62) // effectively zero; avoid overflow
+	}
+	return 1.0 / float64((uint64(1)<<uint(c.l))-1)
+}

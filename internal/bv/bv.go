@@ -1,0 +1,191 @@
+// Package bv implements the certified-propagation broadcast protocol of
+// Bhandari and Vaidya [3] (after Koo [13]), which protocol Breactive runs
+// on top of the reliable local broadcast primitive of Section 5.
+//
+// Rules, given the locally-bounded model (at most t bad nodes per
+// neighborhood):
+//
+//   - a neighbor of the source accepts the value it (reliably) receives
+//     from the source directly;
+//   - any other node accepts value v once it has received v from t+1
+//     distinct relayers that all lie inside a single neighborhood (some
+//     (2r+1)×(2r+1) window centred at a node). Any such window contains
+//     at most t bad nodes, so one of the relayers is good;
+//   - upon accepting, a node relays its value once (via the reliable
+//     local broadcast, which handles retransmissions internally).
+//
+// Sender identities come from the TDMA schedule: a message arrives in its
+// transmitter's own slot, and the coding layer (package auedcode) makes
+// undetected spoofing succeed only with probability 2^-L. Bhandari and
+// Vaidya prove this propagation completes exactly when t < ½r(2r+1).
+package bv
+
+import (
+	"errors"
+	"fmt"
+
+	"bftbcast/internal/grid"
+	"bftbcast/internal/radio"
+)
+
+// MaxToleratedT returns the certified-propagation fault threshold
+// ⌈½r(2r+1)⌉−1: the protocol works for t strictly below ½r(2r+1).
+func MaxToleratedT(r int) int {
+	return (r*(2*r+1)+1)/2 - 1
+}
+
+// Protocol tracks acceptance state for every node of a torus. It is
+// driven by Deliver calls from a transport (package reactive) and reports
+// newly decided nodes through the OnAccept callback.
+type Protocol struct {
+	tor       *grid.Torus
+	t         int
+	source    grid.NodeID
+	decided   []bool
+	value     []radio.Value
+	relayers  []map[radio.Value][]grid.NodeID // per node, per value
+	harvested []bool
+	// OnAccept, when non-nil, observes each acceptance.
+	OnAccept func(id grid.NodeID, v radio.Value)
+}
+
+// New builds a Protocol for the torus with fault bound t and the given
+// source. The source is pre-decided on radio.ValueTrue.
+func New(tor *grid.Torus, t int, source grid.NodeID) (*Protocol, error) {
+	if tor == nil {
+		return nil, errors.New("bv: nil torus")
+	}
+	if t < 0 || t > MaxToleratedT(tor.Range()) {
+		return nil, fmt.Errorf("bv: t=%d outside [0, %d] for r=%d", t, MaxToleratedT(tor.Range()), tor.Range())
+	}
+	if int(source) < 0 || int(source) >= tor.Size() {
+		return nil, fmt.Errorf("bv: source %d out of range", source)
+	}
+	p := &Protocol{
+		tor:      tor,
+		t:        t,
+		source:   source,
+		decided:  make([]bool, tor.Size()),
+		value:    make([]radio.Value, tor.Size()),
+		relayers: make([]map[radio.Value][]grid.NodeID, tor.Size()),
+	}
+	p.decided[source] = true
+	p.value[source] = radio.ValueTrue
+	return p, nil
+}
+
+// Source returns the base station node.
+func (p *Protocol) Source() grid.NodeID { return p.source }
+
+// Decided reports whether id has accepted, and which value.
+func (p *Protocol) Decided(id grid.NodeID) (radio.Value, bool) {
+	return p.value[id], p.decided[id]
+}
+
+// DecidedCount returns how many nodes have accepted a value.
+func (p *Protocol) DecidedCount() int {
+	n := 0
+	for _, d := range p.decided {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Deliver processes a (reliably) received relay at node to: value v
+// claimed by relayer from. It returns true when the delivery caused to to
+// accept. Deliveries to already-decided nodes and self-deliveries are
+// ignored.
+func (p *Protocol) Deliver(to, from grid.NodeID, v radio.Value) bool {
+	if p.decided[to] || to == from {
+		return false
+	}
+	if p.tor.Dist(to, from) > p.tor.Range() {
+		return false // out of radio range; transport bug
+	}
+	// Direct reception from the source is accepted outright.
+	if from == p.source {
+		p.accept(to, v)
+		return true
+	}
+	if p.relayers[to] == nil {
+		p.relayers[to] = make(map[radio.Value][]grid.NodeID, 2)
+	}
+	list := p.relayers[to][v]
+	for _, s := range list {
+		if s == from {
+			return false // duplicate relayer
+		}
+	}
+	list = append(list, from)
+	p.relayers[to][v] = list
+	if len(list) >= p.t+1 && p.windowCertified(list) {
+		p.accept(to, v)
+		return true
+	}
+	return false
+}
+
+// windowCertified reports whether some (2r+1)² window centred at a node
+// contains at least t+1 of the given relayers.
+func (p *Protocol) windowCertified(relayers []grid.NodeID) bool {
+	if p.t == 0 {
+		return len(relayers) >= 1
+	}
+	r := p.tor.Range()
+	// All relayers lie within range r of the receiver, so candidate
+	// window centres lie within 2r of every relayer; scanning centres
+	// around the first relayer's position suffices.
+	cx, cy := p.tor.XY(relayers[0])
+	for dy := -2 * r; dy <= 2*r; dy++ {
+		for dx := -2 * r; dx <= 2*r; dx++ {
+			centre := p.tor.ID(cx+dx, cy+dy)
+			count := 0
+			for _, s := range relayers {
+				if p.tor.Dist(centre, s) <= r {
+					count++
+				}
+			}
+			if count >= p.t+1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// accept commits node id to v.
+func (p *Protocol) accept(id grid.NodeID, v radio.Value) {
+	p.decided[id] = true
+	p.value[id] = v
+	p.relayers[id] = nil // no longer needed
+	if p.OnAccept != nil {
+		p.OnAccept(id, v)
+	}
+}
+
+// PendingRelayers returns how many distinct relayers of v node id has
+// recorded (diagnostics).
+func (p *Protocol) PendingRelayers(id grid.NodeID, v radio.Value) int {
+	if p.relayers[id] == nil {
+		return 0
+	}
+	return len(p.relayers[id][v])
+}
+
+// NextRelay pops the next decided-but-not-yet-relayed node in id order,
+// or grid.None when none remain. The transport calls this to schedule
+// relays; the source is included (it must broadcast first).
+func (p *Protocol) NextRelay() grid.NodeID {
+	if p.harvested == nil {
+		p.harvested = make([]bool, p.tor.Size())
+	}
+	for i := 0; i < p.tor.Size(); i++ {
+		if p.decided[i] && !p.harvested[i] {
+			p.harvested[i] = true
+			return grid.NodeID(i)
+		}
+	}
+	return grid.None
+}

@@ -1,0 +1,76 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("registry has %d experiments, want 10", len(all))
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("All()[%d] = %s, want %s", i, all[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("ByID(%s) missing", id)
+		}
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) should not exist")
+	}
+}
+
+// TestAllExperimentsPassQuick runs the whole suite in quick mode: every
+// experiment must reproduce its paper claim's shape.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(Options{Quick: true, Seed: 42})
+			if err != nil {
+				t.Fatalf("%s errored: %v", e.ID, err)
+			}
+			var buf bytes.Buffer
+			if _, err := out.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !out.Passed {
+				t.Fatalf("%s failed:\n%s", e.ID, buf.String())
+			}
+			if len(out.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			if !strings.Contains(buf.String(), e.ID+":") {
+				t.Fatalf("%s output missing header:\n%s", e.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestOutcomeRendering(t *testing.T) {
+	o := &Outcome{ID: "EX", Title: "demo", Passed: true}
+	o.note("hello %d", 7)
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"EX: demo [ok]", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	o.fail("boom %s", "x")
+	buf.Reset()
+	if _, err := o.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[FAILED]") || !strings.Contains(buf.String(), "FAIL: boom x") {
+		t.Errorf("failed outcome rendering:\n%s", buf.String())
+	}
+}

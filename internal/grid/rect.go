@@ -1,0 +1,114 @@
+package grid
+
+import "fmt"
+
+// Rect is a rectangular node region on the torus, anchored at (X, Y) and
+// extending W columns and H rows in the positive direction (with
+// wraparound). It is the torus counterpart of the paper's
+// [x1..x2, y1..y2] notation: Span(x1, x2, y1, y2) builds the matching
+// Rect.
+type Rect struct {
+	X, Y int // anchor (any integers; interpreted modulo the torus sides)
+	W, H int // extents, must be >= 1 and at most the torus sides
+}
+
+// Span builds the Rect for the paper's closed region
+// [x1..x2, y1..y2]; x2 must be >= x1 and y2 >= y1 (spans are expressed in
+// plane coordinates before torus reduction).
+func Span(x1, x2, y1, y2 int) Rect {
+	return Rect{X: x1, Y: y1, W: x2 - x1 + 1, H: y2 - y1 + 1}
+}
+
+// Row builds the single-row region [x1..x2, y].
+func Row(x1, x2, y int) Rect { return Span(x1, x2, y, y) }
+
+// Column builds the single-column region [x, y1..y2].
+func Column(x, y1, y2 int) Rect { return Span(x, x, y1, y2) }
+
+// Area returns the number of cells in the region.
+func (rc Rect) Area() int { return rc.W * rc.H }
+
+// valid reports whether the rect fits on t without self-overlap.
+func (rc Rect) valid(t *Torus) bool {
+	return rc.W >= 1 && rc.H >= 1 && rc.W <= t.w && rc.H <= t.h
+}
+
+// NodesIn returns the ids of all nodes in rc, row-major from the anchor.
+// It returns an error if the region exceeds the torus (which would make it
+// self-overlap through the wrap).
+func (t *Torus) NodesIn(rc Rect) ([]NodeID, error) {
+	if !rc.valid(t) {
+		return nil, fmt.Errorf("grid: rect %+v does not fit on %v", rc, t)
+	}
+	out := make([]NodeID, 0, rc.Area())
+	for dy := 0; dy < rc.H; dy++ {
+		for dx := 0; dx < rc.W; dx++ {
+			out = append(out, t.ID(rc.X+dx, rc.Y+dy))
+		}
+	}
+	return out, nil
+}
+
+// ForEachIn calls fn for every node in rc, row-major from the anchor.
+// Invalid regions are reported via the returned error.
+func (t *Torus) ForEachIn(rc Rect, fn func(NodeID)) error {
+	if !rc.valid(t) {
+		return fmt.Errorf("grid: rect %+v does not fit on %v", rc, t)
+	}
+	for dy := 0; dy < rc.H; dy++ {
+		for dx := 0; dx < rc.W; dx++ {
+			fn(t.ID(rc.X+dx, rc.Y+dy))
+		}
+	}
+	return nil
+}
+
+// RectContains reports whether id lies in rc on t.
+func (t *Torus) RectContains(rc Rect, id NodeID) bool {
+	if !rc.valid(t) {
+		return false
+	}
+	x, y := t.XY(id)
+	ax, ay := t.WrapX(rc.X), t.WrapY(rc.Y)
+	dx := x - ax
+	if dx < 0 {
+		dx += t.w
+	}
+	dy := y - ay
+	if dy < 0 {
+		dy += t.h
+	}
+	return dx < rc.W && dy < rc.H
+}
+
+// Neighborhood returns the closed neighborhood window of id as a Rect:
+// the (2r+1)×(2r+1) square centred on id (including id).
+func (t *Torus) Neighborhood(id NodeID) Rect {
+	x, y := t.XY(id)
+	return Rect{X: x - t.r, Y: y - t.r, W: 2*t.r + 1, H: 2*t.r + 1}
+}
+
+// Cross describes the cross-shaped region of Figure 5: all nodes within
+// L∞ distance HalfWidth of either axis through Center. Protocol Bheter
+// assigns the boosted budget m' to exactly these nodes.
+type Cross struct {
+	Center    NodeID
+	HalfWidth int
+}
+
+// InCross reports whether id belongs to the cross c on t.
+func (t *Torus) InCross(c Cross, id NodeID) bool {
+	cx, cy := t.XY(c.Center)
+	x, y := t.XY(id)
+	return axisDist(x, cx, t.w) <= c.HalfWidth || axisDist(y, cy, t.h) <= c.HalfWidth
+}
+
+// CrossSize returns the number of nodes in the cross c.
+func (t *Torus) CrossSize(c Cross) int {
+	arm := 2*c.HalfWidth + 1
+	if arm >= t.w || arm >= t.h {
+		return t.Size()
+	}
+	// Two full strips minus the doubly counted central square.
+	return arm*t.w + arm*t.h - arm*arm
+}

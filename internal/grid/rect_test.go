@@ -1,0 +1,126 @@
+package grid
+
+import "testing"
+
+func TestSpanMatchesPaperNotation(t *testing.T) {
+	// [x1..x2, y1..y2] with x1=2,x2=5,y1=1,y2=3 has 4*3 = 12 nodes.
+	rc := Span(2, 5, 1, 3)
+	if rc.Area() != 12 {
+		t.Fatalf("Area = %d, want 12", rc.Area())
+	}
+	tor := MustNew(10, 10, 2)
+	nodes, err := tor.NodesIn(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 12 {
+		t.Fatalf("len(nodes) = %d, want 12", len(nodes))
+	}
+	for _, id := range nodes {
+		x, y := tor.XY(id)
+		if x < 2 || x > 5 || y < 1 || y > 3 {
+			t.Fatalf("node (%d,%d) outside span", x, y)
+		}
+	}
+}
+
+func TestRowColumn(t *testing.T) {
+	if got := Row(0, 4, 7).Area(); got != 5 {
+		t.Errorf("Row area = %d, want 5", got)
+	}
+	if got := Column(3, -2, 2).Area(); got != 5 {
+		t.Errorf("Column area = %d, want 5", got)
+	}
+}
+
+func TestNodesInWraps(t *testing.T) {
+	tor := MustNew(8, 8, 2)
+	// Region crossing both wrap boundaries.
+	rc := Span(6, 9, 6, 9) // 4x4 anchored at (6,6)
+	nodes, err := tor.NodesIn(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 16 {
+		t.Fatalf("len = %d, want 16", len(nodes))
+	}
+	seen := map[NodeID]bool{}
+	for _, id := range nodes {
+		if seen[id] {
+			t.Fatalf("duplicate node %d in wrapped region", id)
+		}
+		seen[id] = true
+		if !tor.RectContains(rc, id) {
+			t.Fatalf("RectContains disagrees for %d", id)
+		}
+	}
+	// A node outside:
+	if tor.RectContains(rc, tor.ID(3, 3)) {
+		t.Fatal("RectContains(3,3) should be false")
+	}
+}
+
+func TestNodesInRejectsOversize(t *testing.T) {
+	tor := MustNew(8, 8, 2)
+	if _, err := tor.NodesIn(Rect{X: 0, Y: 0, W: 9, H: 1}); err == nil {
+		t.Fatal("oversize rect should error")
+	}
+	if err := tor.ForEachIn(Rect{X: 0, Y: 0, W: 1, H: 0}, func(NodeID) {}); err == nil {
+		t.Fatal("empty rect should error")
+	}
+}
+
+func TestNeighborhoodRect(t *testing.T) {
+	tor := MustNew(10, 10, 2)
+	id := tor.ID(4, 4)
+	rc := tor.Neighborhood(id)
+	if rc.Area() != 25 {
+		t.Fatalf("Area = %d, want 25", rc.Area())
+	}
+	// Every node in the rect is within range r of id.
+	if err := tor.ForEachIn(rc, func(nb NodeID) {
+		if tor.Dist(id, nb) > 2 {
+			t.Errorf("node %d in neighborhood rect at distance %d", nb, tor.Dist(id, nb))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !tor.RectContains(rc, id) {
+		t.Fatal("neighborhood must contain its centre")
+	}
+}
+
+func TestCrossMembershipAndSize(t *testing.T) {
+	tor := MustNew(20, 20, 2)
+	c := Cross{Center: tor.ID(0, 0), HalfWidth: 2}
+	// Known members.
+	for _, p := range [][2]int{{0, 0}, {5, 2}, {5, 18}, {2, 9}, {18, 1}} {
+		if !tor.InCross(c, tor.ID(p[0], p[1])) {
+			t.Errorf("(%d,%d) should be in cross", p[0], p[1])
+		}
+	}
+	// Known non-members.
+	for _, p := range [][2]int{{5, 5}, {10, 10}, {3, 16}} {
+		if tor.InCross(c, tor.ID(p[0], p[1])) {
+			t.Errorf("(%d,%d) should NOT be in cross", p[0], p[1])
+		}
+	}
+	// CrossSize matches brute force count.
+	count := 0
+	for i := 0; i < tor.Size(); i++ {
+		if tor.InCross(c, NodeID(i)) {
+			count++
+		}
+	}
+	if got := tor.CrossSize(c); got != count {
+		t.Fatalf("CrossSize = %d, brute force = %d", got, count)
+	}
+}
+
+func TestCrossCoversWholeTorusWhenWide(t *testing.T) {
+	tor := MustNew(10, 10, 2)
+	c := Cross{Center: tor.ID(5, 5), HalfWidth: 5}
+	if got := tor.CrossSize(c); got != tor.Size() {
+		t.Fatalf("CrossSize = %d, want %d", got, tor.Size())
+	}
+}

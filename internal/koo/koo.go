@@ -1,0 +1,30 @@
+// Package koo implements the baseline scheme the paper compares protocol
+// B against (Section 1.3 and Section 3): the repetition protocol
+// suggested by Koo, Bhandari, Katz and Vaidya (PODC'06), adapted to the
+// message-budget model. Every good node repeats its accepted value
+// 2·t·mf+1 times, so each node overcomes the worst-case t·mf collisions
+// of its own neighborhood single-handedly. The paper's protocol B is
+// ½(r(2r+1)−t) times cheaper because nearby good nodes share that work.
+package koo
+
+import (
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+)
+
+// NewBaseline returns the Koo et al. repetition protocol as an executable
+// spec: source repeats 2tmf+1 times, every node relays 2tmf+1 times, and
+// acceptance needs tmf+1 copies.
+func NewBaseline(p core.Params) (core.Spec, error) {
+	if err := p.Validate(); err != nil {
+		return core.Spec{}, err
+	}
+	repeats := p.KooBudget()
+	return core.Spec{
+		Name:          "koo-baseline",
+		SourceRepeats: p.SourceRepeats(),
+		Threshold:     p.Threshold(),
+		Sends:         func(grid.NodeID) int { return repeats },
+		Budget:        func(grid.NodeID) int { return repeats },
+	}, nil
+}

@@ -1,0 +1,131 @@
+// Package metrics provides small result-aggregation helpers for the
+// experiment harness: counters, ratio trackers and aligned text tables in
+// the style of the paper's reporting.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// Table is a titled text table rendered with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteTo renders the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	if t.Title != "" {
+		n, err := fmt.Fprintf(w, "%s\n", t.Title)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(tw, "\t"); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(tw, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(tw, "\n")
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := writeRow(t.Header); err != nil {
+			return total, err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return total, err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// Itoa formats an int (strconv shorthand for table cells).
+func Itoa(v int) string { return strconv.Itoa(v) }
+
+// Ftoa formats a float with the given number of decimals.
+func Ftoa(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// Btoa formats a bool as yes/no.
+func Btoa(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}
+
+// Etoa formats a float in scientific notation with two decimals.
+func Etoa(v float64) string { return strconv.FormatFloat(v, 'e', 2, 64) }
+
+// Counter accumulates integer observations.
+type Counter struct {
+	n   int
+	sum int64
+	min int64
+	max int64
+}
+
+// Add records one observation.
+func (c *Counter) Add(v int) {
+	val := int64(v)
+	if c.n == 0 || val < c.min {
+		c.min = val
+	}
+	if c.n == 0 || val > c.max {
+		c.max = val
+	}
+	c.n++
+	c.sum += val
+}
+
+// N returns the number of observations.
+func (c *Counter) N() int { return c.n }
+
+// Sum returns the running total.
+func (c *Counter) Sum() int64 { return c.sum }
+
+// Min returns the smallest observation (0 when empty).
+func (c *Counter) Min() int64 { return c.min }
+
+// Max returns the largest observation (0 when empty).
+func (c *Counter) Max() int64 { return c.max }
+
+// Mean returns the average observation (0 when empty).
+func (c *Counter) Mean() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return float64(c.sum) / float64(c.n)
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table 1: demo", "col-a", "col-b", "col-c")
+	tbl.AddRow("1", "x")
+	tbl.AddRow("22", "yy", "zz")
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1: demo", "col-a", "22", "zz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("1")
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Fatal("leading blank line for untitled table")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Itoa(42); got != "42" {
+		t.Errorf("Itoa = %q", got)
+	}
+	if got := Ftoa(3.14159, 2); got != "3.14" {
+		t.Errorf("Ftoa = %q", got)
+	}
+	if got := Btoa(true); got != "yes" {
+		t.Errorf("Btoa(true) = %q", got)
+	}
+	if got := Btoa(false); got != "no" {
+		t.Errorf("Btoa(false) = %q", got)
+	}
+	if got := Etoa(0.000123); got != "1.23e-04" {
+		t.Errorf("Etoa = %q", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Mean() != 0 || c.N() != 0 {
+		t.Fatal("zero counter not empty")
+	}
+	for _, v := range []int{5, 1, 9} {
+		c.Add(v)
+	}
+	if c.N() != 3 || c.Sum() != 15 || c.Min() != 1 || c.Max() != 9 {
+		t.Fatalf("counter state: %+v", c)
+	}
+	if c.Mean() != 5 {
+		t.Fatalf("Mean = %v", c.Mean())
+	}
+}

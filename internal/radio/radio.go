@@ -1,0 +1,184 @@
+// Package radio models the single-channel slotted radio medium of the
+// paper. In each time slot a set of nodes transmit; every node within
+// range r of exactly one transmitter receives that transmitter's value,
+// while nodes within range of two or more concurrent transmitters observe
+// a collision. Collisions are adversary-controlled: "their common neighbor
+// nodes can receive a wrong message, or no message at all, without
+// noticing anything abnormal", so a colliding bad transmission either
+// substitutes its own value at the affected receivers or silences the slot
+// for them. Receivers never learn transmitter identities from the medium
+// itself; identity can only be inferred from the TDMA schedule.
+package radio
+
+import (
+	"fmt"
+
+	"bftbcast/internal/grid"
+)
+
+// Value is a broadcast value. The model is value-oblivious: the protocols
+// count copies of equal values, so an int is a faithful representation of
+// an arbitrary payload.
+type Value int32
+
+// Distinguished values. ValueNone is the "no delivery" sentinel and never
+// appears in a transmission; ValueTrue is the source's value Vtrue;
+// adversaries typically inject ValueFalse but may use any value > 0.
+const (
+	ValueNone  Value = 0
+	ValueTrue  Value = 1
+	ValueFalse Value = 2
+)
+
+// Tx is one transmission within a slot.
+type Tx struct {
+	From  grid.NodeID
+	Value Value
+	// Jam marks an adversarial transmission. At receivers where a jam
+	// overlaps other transmissions (or arrives alone), the jam decides
+	// the outcome: its Value is delivered, or nothing if Drop is set.
+	Jam  bool
+	Drop bool
+}
+
+// Delivery is the outcome of a slot at one receiver.
+type Delivery struct {
+	To    grid.NodeID
+	Value Value
+	// From is the transmitter whose signal prevailed (the sole good
+	// transmitter, or the winning jammer). It is engine/adversary
+	// metadata: the protocols themselves never see transmitter
+	// identities, which the radio medium does not provide.
+	From     grid.NodeID
+	Collided bool // true when the receiver was inside a collision
+}
+
+// Medium resolves transmissions into deliveries on a fixed torus.
+// It keeps per-node scratch state, so a Medium is not safe for concurrent
+// use; create one per goroutine.
+type Medium struct {
+	t *grid.Torus
+
+	epoch    int32
+	mark     []int32       // epoch stamp per node
+	nGood    []int16       // concurrent good transmissions heard
+	goodVal  []Value       // value of the (sole) good transmission heard
+	goodFrom []grid.NodeID // its transmitter
+	jamVal   []Value       // value chosen by the first jam heard, ValueNone = drop
+	jamFrom  []grid.NodeID // the winning jammer
+	jammed   []bool
+	sending  []bool // half-duplex: transmitters cannot receive this slot
+
+	touched []grid.NodeID // receivers touched this slot
+
+	// GoodGoodCollisions counts receivers that observed two or more
+	// concurrent good transmissions, which a valid TDMA schedule makes
+	// impossible. A non-zero count indicates a schedule violation bug.
+	GoodGoodCollisions int
+}
+
+// NewMedium returns a Medium for t.
+func NewMedium(t *grid.Torus) *Medium {
+	n := t.Size()
+	return &Medium{
+		t:        t,
+		mark:     make([]int32, n),
+		nGood:    make([]int16, n),
+		goodVal:  make([]Value, n),
+		goodFrom: make([]grid.NodeID, n),
+		jamVal:   make([]Value, n),
+		jamFrom:  make([]grid.NodeID, n),
+		jammed:   make([]bool, n),
+		sending:  make([]bool, n),
+		touched:  make([]grid.NodeID, 0, 256),
+	}
+}
+
+// Resolve computes the deliveries produced by the slot's transmissions and
+// invokes deliver for each receiver that hears something. Deliveries are
+// reported in ascending receiver id order to keep runs deterministic.
+// Transmitting nodes are half-duplex and never receive in the same slot.
+func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
+	m.epoch++
+	if m.epoch < 0 { // extremely long runs: reset stamps
+		m.epoch = 1
+		for i := range m.mark {
+			m.mark[i] = 0
+		}
+	}
+	m.touched = m.touched[:0]
+
+	for _, tx := range txs {
+		if tx.Value == ValueNone && !tx.Drop {
+			return fmt.Errorf("radio: transmission from %d carries ValueNone", tx.From)
+		}
+		m.sending[tx.From] = true
+	}
+
+	for _, tx := range txs {
+		tx := tx
+		m.t.ForEachNeighbor(tx.From, func(to grid.NodeID) {
+			if m.mark[to] != m.epoch {
+				m.mark[to] = m.epoch
+				m.nGood[to] = 0
+				m.goodVal[to] = ValueNone
+				m.jamVal[to] = ValueNone
+				m.jammed[to] = false
+				m.touched = append(m.touched, to)
+			}
+			if tx.Jam {
+				if !m.jammed[to] {
+					m.jammed[to] = true
+					m.jamFrom[to] = tx.From
+					if tx.Drop {
+						m.jamVal[to] = ValueNone
+					} else {
+						m.jamVal[to] = tx.Value
+					}
+				}
+				return
+			}
+			m.nGood[to]++
+			m.goodVal[to] = tx.Value
+			m.goodFrom[to] = tx.From
+		})
+	}
+
+	// Sort touched receivers for deterministic delivery order. The slice
+	// is short (bounded by transmitters × neighborhood size); insertion
+	// sort avoids allocation.
+	insertionSortIDs(m.touched)
+
+	for _, to := range m.touched {
+		if m.sending[to] {
+			continue // half-duplex
+		}
+		switch {
+		case m.jammed[to]:
+			if v := m.jamVal[to]; v != ValueNone {
+				deliver(Delivery{To: to, Value: v, From: m.jamFrom[to], Collided: true})
+			}
+		case m.nGood[to] == 1:
+			deliver(Delivery{To: to, Value: m.goodVal[to], From: m.goodFrom[to]})
+		case m.nGood[to] >= 2:
+			m.GoodGoodCollisions++
+		}
+	}
+
+	for _, tx := range txs {
+		m.sending[tx.From] = false
+	}
+	return nil
+}
+
+func insertionSortIDs(s []grid.NodeID) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

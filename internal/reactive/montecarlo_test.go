@@ -1,0 +1,74 @@
+package reactive
+
+import (
+	"testing"
+
+	"bftbcast/internal/adversary"
+	"bftbcast/internal/grid"
+)
+
+// TestMonteCarloReliability checks Section 5's probabilistic claim at the
+// whole-protocol level: Breactive succeeds with probability at least
+// 1 − 1/n. With n = 225 and L = 22 the failure probability per run is
+// below 10⁻⁵, so across a batch of independent seeded runs every single
+// one must complete with the correct value.
+func TestMonteCarloReliability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run Monte Carlo")
+	}
+	tor := grid.MustNew(15, 15, 2)
+	const runs = 30
+	failures := 0
+	for seed := uint64(0); seed < runs; seed++ {
+		res, err := Run(Config{
+			Torus: tor, T: 2, MF: 3, MMax: 64, PayloadBits: 16,
+			Source:    tor.ID(0, 0),
+			Placement: adversary.Random{T: 2, Density: 0.07, Seed: seed},
+			Policy:    PolicyMixed,
+			Seed:      seed * 7919,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed || res.WrongDecisions != 0 {
+			failures++
+			t.Logf("seed %d failed: decided=%d/%d wrong=%d forged=%d",
+				seed, res.DecidedGood, res.TotalGood, res.WrongDecisions, res.ForgedDeliveries)
+		}
+	}
+	// The 1 − 1/n bound allows less than one failure in expectation per
+	// n runs; at these parameters the true rate is orders of magnitude
+	// lower, so any failure indicates a protocol bug.
+	if failures != 0 {
+		t.Fatalf("%d/%d Monte Carlo runs failed; bound allows ~%.2f", failures, runs, float64(runs)/225)
+	}
+}
+
+// TestMonteCarloMessageBound verifies Theorem 4's message bound across
+// random placements and policies simultaneously.
+func TestMonteCarloMessageBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run Monte Carlo")
+	}
+	tor := grid.MustNew(15, 15, 2)
+	for seed := uint64(0); seed < 10; seed++ {
+		for _, policy := range []AttackPolicy{PolicyDisrupt, PolicyNackSpam, PolicyMixed} {
+			cfg := Config{
+				Torus: tor, T: 1, MF: 4, MMax: 64, PayloadBits: 16,
+				Source:    tor.ID(0, 0),
+				Placement: adversary.Random{T: 1, Density: 0.06, Seed: seed},
+				Policy:    policy,
+				Seed:      seed + 1000,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := 2 * (cfg.T*cfg.MF + 1)
+			if res.MaxNodeMessages > bound {
+				t.Fatalf("seed %d policy %s: %d messages > bound %d",
+					seed, policy, res.MaxNodeMessages, bound)
+			}
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package reactive implements Section 5 of the paper: reliable broadcast
+// when the bad nodes' budget mf is unknown.
+//
+// The building block is a reactive reliable local broadcast. A sender
+// encodes its message with the two-level AUED code (package auedcode) and
+// transmits it as one message round (K·L sub-slots). A receiver that
+// detects an integrity violation broadcasts a NACK; the receipt of any
+// NACK — genuine or adversarial — makes the sender retransmit with fresh
+// random sub-bit patterns. The sender stops once (2r+1)²−1 consecutive
+// message rounds pass without a NACK, giving every neighbor a NACK
+// opportunity in the TDMA cycle.
+//
+// On top of the primitive runs the certified-propagation protocol of
+// Bhandari–Vaidya (package bv), yielding protocol Breactive, which
+// tolerates t < ½r(2r+1) with probability at least 1 − 1/n (Theorem 4).
+package reactive
+
+import (
+	"errors"
+	"fmt"
+
+	"bftbcast/internal/adversary"
+	"bftbcast/internal/auedcode"
+	"bftbcast/internal/bv"
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/radio"
+	"bftbcast/internal/stats"
+)
+
+// AttackPolicy selects how bad nodes spend their (unknown to the
+// protocol) budget.
+type AttackPolicy int
+
+// Attack policies.
+const (
+	// PolicyDisrupt flips a silent sub-slot in every data round within
+	// range until the budget runs out, forcing detection and
+	// retransmission — the worst case for message cost.
+	PolicyDisrupt AttackPolicy = iota + 1
+	// PolicyForge attempts a random-guess cancellation of a 1-bit each
+	// round: success (probability ≈ 2^-L) plants an undetected wrong
+	// value, failure is detected like a disruption.
+	PolicyForge
+	// PolicyNackSpam spends the budget broadcasting fake NACKs, forcing
+	// pointless retransmissions without touching payloads.
+	PolicyNackSpam
+	// PolicyMixed alternates disruption, forging and NACK spam.
+	PolicyMixed
+)
+
+// String implements fmt.Stringer.
+func (p AttackPolicy) String() string {
+	switch p {
+	case PolicyDisrupt:
+		return "disrupt"
+	case PolicyForge:
+		return "forge"
+	case PolicyNackSpam:
+		return "nackspam"
+	case PolicyMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config describes one Breactive run.
+type Config struct {
+	Torus *grid.Torus
+	// T is the locally-bounded fault parameter; must satisfy
+	// t < ½r(2r+1) (the certified-propagation threshold).
+	T int
+	// MF is the actual adversary budget, unknown to the protocol.
+	MF int
+	// MMax is the loose upper bound known to the protocol (sets L).
+	MMax int
+	// PayloadBits is the broadcast message size k.
+	PayloadBits int
+	Source      grid.NodeID
+	Placement   adversary.Placement
+	Policy      AttackPolicy // 0 = PolicyDisrupt
+	Seed        uint64
+	// QuietWindow overrides the (2r+1)²−1 NACK-free rounds required to
+	// finish a local broadcast (0 = paper default). Used by ablations.
+	QuietWindow int
+	// MaxRoundsPerBroadcast caps one local broadcast (0 = generous
+	// default).
+	MaxRoundsPerBroadcast int
+}
+
+// Result reports a Breactive run.
+type Result struct {
+	Completed      bool
+	WrongDecisions int // good nodes holding a value != Vtrue at the end
+	DecidedGood    int
+	TotalGood      int
+	BadCount       int
+
+	LocalBroadcasts int
+	MessageRounds   int // data rounds across all local broadcasts
+
+	DataSends []int32 // per node
+	NackSends []int32 // per node
+
+	// MaxNodeMessages is the per-node maximum of data+NACK messages; the
+	// Theorem 4 message bound is 2(t·mf+1).
+	MaxNodeMessages int
+	// MaxNodeSubSlots is MaxNodeMessages · K · L, comparable to the
+	// Theorem 4 sub-slot budget.
+	MaxNodeSubSlots int
+	// Theorem4SubSlots is the paper's closed-form budget
+	// 2(t·mf+1)(2·log n + log t + log mmax)(k + 2·log k + 2).
+	Theorem4SubSlots int
+
+	ForgedDeliveries int // undetected wrong values planted (prob ≈ 2^-L each)
+	AttacksSpent     int // adversary messages consumed
+	CodewordBits     int
+	SubBitLength     int
+}
+
+// Run executes Breactive to fixpoint.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Torus == nil {
+		return nil, errors.New("reactive: config needs a torus")
+	}
+	r := cfg.Torus.Range()
+	if cfg.T < 0 || cfg.T > bv.MaxToleratedT(r) {
+		return nil, fmt.Errorf("reactive: t=%d outside [0,%d] for r=%d", cfg.T, bv.MaxToleratedT(r), r)
+	}
+	if cfg.MF < 0 {
+		return nil, fmt.Errorf("reactive: mf=%d must be >= 0", cfg.MF)
+	}
+	if cfg.MMax < 1 || cfg.MMax < cfg.MF {
+		return nil, fmt.Errorf("reactive: mmax=%d must be >= max(1, mf=%d)", cfg.MMax, cfg.MF)
+	}
+	if cfg.PayloadBits < 1 {
+		return nil, fmt.Errorf("reactive: payload bits %d", cfg.PayloadBits)
+	}
+	n := cfg.Torus.Size()
+	if int(cfg.Source) < 0 || int(cfg.Source) >= n {
+		return nil, fmt.Errorf("reactive: source %d out of range", cfg.Source)
+	}
+
+	tEff := cfg.T
+	if tEff == 0 {
+		tEff = 1 // the code needs t >= 1; L only shrinks with t
+	}
+	code, err := auedcode.NewCode(cfg.PayloadBits, n, tEff, cfg.MMax)
+	if err != nil {
+		return nil, err
+	}
+
+	placement := cfg.Placement
+	if placement == nil {
+		placement = adversary.None{}
+	}
+	bad, err := placement.Place(cfg.Torus, cfg.Source)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := adversary.Validate(cfg.Torus, bad, cfg.Source, cfg.T); err != nil {
+		return nil, err
+	}
+
+	proto, err := bv.New(cfg.Torus, cfg.T, cfg.Source)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:    cfg,
+		code:   code,
+		proto:  proto,
+		bad:    bad,
+		rng:    stats.NewRNG(cfg.Seed),
+		policy: cfg.Policy,
+		quiet:  cfg.QuietWindow,
+		res: Result{
+			DataSends:        make([]int32, n),
+			NackSends:        make([]int32, n),
+			CodewordBits:     code.CodewordBits(),
+			SubBitLength:     code.SubBitLength(),
+			Theorem4SubSlots: core.Theorem4Budget(n, tEff, cfg.MF, cfg.MMax, cfg.PayloadBits),
+		},
+	}
+	if e.policy == 0 {
+		e.policy = PolicyDisrupt
+	}
+	if e.quiet <= 0 {
+		e.quiet = (2*r+1)*(2*r+1) - 1
+	}
+	e.budget = make([]radio.Budget, n)
+	for i := range e.budget {
+		if bad[i] {
+			e.budget[i] = radio.NewBudget(cfg.MF)
+			e.res.BadCount++
+		}
+	}
+	return e.run()
+}
+
+type engine struct {
+	cfg    Config
+	code   *auedcode.Code
+	proto  *bv.Protocol
+	bad    []bool
+	budget []radio.Budget
+	rng    *stats.RNG
+	policy AttackPolicy
+	quiet  int
+	res    Result
+}
+
+func (e *engine) run() (*Result, error) {
+	for {
+		sender := e.proto.NextRelay()
+		if sender == grid.None {
+			break
+		}
+		if e.bad[sender] {
+			continue // bad relayers act through the adversary policies
+		}
+		v, _ := e.proto.Decided(sender)
+		if err := e.localBroadcast(sender, v); err != nil {
+			return nil, err
+		}
+	}
+	return e.finish(), nil
+}
+
+// payloadFor encodes a protocol value into the k-bit payload.
+func (e *engine) payloadFor(v radio.Value) auedcode.BitString {
+	p := auedcode.NewBitString(e.cfg.PayloadBits)
+	width := e.cfg.PayloadBits
+	if width > 16 {
+		width = 16
+	}
+	p.WriteUint(uint(v), e.cfg.PayloadBits-width, width)
+	return p
+}
+
+// valueFor decodes a payload back into a protocol value.
+func (e *engine) valueFor(p auedcode.BitString) radio.Value {
+	width := e.cfg.PayloadBits
+	if width > 16 {
+		width = 16
+	}
+	return radio.Value(p.ReadUint(e.cfg.PayloadBits-width, width))
+}
+
+// localBroadcast runs the reactive NACK loop for one sender.
+func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
+	e.res.LocalBroadcasts++
+	tor := e.cfg.Torus
+	payload := e.payloadFor(v)
+
+	maxRounds := e.cfg.MaxRoundsPerBroadcast
+	if maxRounds <= 0 {
+		maxRounds = 2*(e.cfg.T*e.cfg.MF+1) + 2*e.quiet + 16
+	}
+
+	received := make(map[grid.NodeID]bool) // receivers that got a clean copy
+	quietRun := 0
+	pendingData := true // transmit in the first round
+
+	for round := 0; round < maxRounds; round++ {
+		nackHeard := false
+		if pendingData {
+			pendingData = false
+			e.res.MessageRounds++
+			e.res.DataSends[sender]++
+			cw, err := e.code.Encode(payload, e.rng)
+			if err != nil {
+				return err
+			}
+			attacked, forged, attackerRange, err := e.attackRound(sender, cw)
+			if err != nil {
+				return err
+			}
+			// Deliver per receiver: inside the attacker's range the
+			// attacked sub-bits are heard, outside the clean ones.
+			failures := 0
+			tor.ForEachNeighbor(sender, func(to grid.NodeID) {
+				if e.bad[to] {
+					return
+				}
+				sub := cw.Sub
+				if attackerRange != nil && tor.Dist(to, attackerRange[0]) <= tor.Range() {
+					sub = attacked
+				}
+				got, err := e.code.ReceiveSub(sub)
+				switch {
+				case err == nil && got.Equal(payload):
+					if !received[to] {
+						received[to] = true
+						e.proto.Deliver(to, sender, v)
+					}
+				case err == nil:
+					// An undetected forgery: the receiver trusts a
+					// wrong payload.
+					if !received[to] {
+						received[to] = true
+						e.res.ForgedDeliveries++
+						e.proto.Deliver(to, sender, e.valueFor(got))
+					}
+				default:
+					failures++
+					e.res.NackSends[to]++
+					nackHeard = true
+				}
+			})
+			_ = failures
+			_ = forged
+		}
+
+		// Adversarial NACK spam targets the sender directly.
+		if e.spamNack(sender) {
+			nackHeard = true
+		}
+
+		if nackHeard {
+			quietRun = 0
+			pendingData = true
+			continue
+		}
+		quietRun++
+		if quietRun >= e.quiet {
+			return nil
+		}
+	}
+	// Round cap reached: the quiet window never closed. Treat whatever
+	// was delivered as final (the protocol layer already has it).
+	return nil
+}
+
+// attackRound lets one bad node in range attack the transmission.
+// It returns the attacked sub-bit string (nil when no attack), whether a
+// forge succeeded, and a one-element slice naming the attacker (nil when
+// none) for range checks.
+func (e *engine) attackRound(sender grid.NodeID, cw *auedcode.Codeword) (auedcode.BitString, bool, []grid.NodeID, error) {
+	tor := e.cfg.Torus
+	attacker := grid.None
+	// The first in-range bad node with budget attacks. Attackers beyond
+	// radio range of the sender cannot hit the same receivers reliably;
+	// in-range keeps the model simple and is the common case for the
+	// locally-bounded placements.
+	tor.ForEachNeighbor(sender, func(nb grid.NodeID) {
+		if attacker == grid.None && e.bad[nb] && e.budget[nb].Left() != 0 {
+			attacker = nb
+		}
+	})
+	if attacker == grid.None {
+		return auedcode.BitString{}, false, nil, nil
+	}
+	policy := e.policy
+	if policy == PolicyMixed {
+		switch e.res.AttacksSpent % 3 {
+		case 0:
+			policy = PolicyDisrupt
+		case 1:
+			policy = PolicyForge
+		default:
+			policy = PolicyNackSpam
+		}
+	}
+	if policy == PolicyNackSpam {
+		return auedcode.BitString{}, false, nil, nil // handled in spamNack
+	}
+	if !e.budget[attacker].TrySpend() {
+		return auedcode.BitString{}, false, nil, nil
+	}
+	e.res.AttacksSpent++
+
+	switch policy {
+	case PolicyForge:
+		// Try to erase a random 1-bit; detected otherwise.
+		var ones []int
+		for i := 0; i < cw.Bits.Len(); i++ {
+			if cw.Bits.Get(i) == 1 {
+				ones = append(ones, i)
+			}
+		}
+		bit := ones[e.rng.Intn(len(ones))]
+		sub, erased, err := cw.AttackCancelRandom(bit, e.rng)
+		if err != nil {
+			return auedcode.BitString{}, false, nil, err
+		}
+		return sub, erased, []grid.NodeID{attacker}, nil
+	default: // PolicyDisrupt
+		// Flip a silent sub-slot of a 0-bit: always detected.
+		for i := 0; i < cw.Bits.Len(); i++ {
+			if cw.Bits.Get(i) == 0 {
+				sub, err := cw.AttackFlipUp(i)
+				if err != nil {
+					return auedcode.BitString{}, false, nil, err
+				}
+				return sub, false, []grid.NodeID{attacker}, nil
+			}
+		}
+		// All-ones codeword (cannot happen: count segments contain
+		// zeros); attack the first sub-slot anyway.
+		sub := cw.Sub.Clone()
+		sub.Set(0, 1)
+		return sub, false, []grid.NodeID{attacker}, nil
+	}
+}
+
+// spamNack lets a bad node in the sender's range burn budget on a fake
+// NACK, forcing a retransmission.
+func (e *engine) spamNack(sender grid.NodeID) bool {
+	if e.policy != PolicyNackSpam && e.policy != PolicyMixed {
+		return false
+	}
+	spammer := grid.None
+	e.cfg.Torus.ForEachNeighbor(sender, func(nb grid.NodeID) {
+		if spammer == grid.None && e.bad[nb] && e.budget[nb].Left() != 0 {
+			spammer = nb
+		}
+	})
+	if spammer == grid.None {
+		return false
+	}
+	if !e.budget[spammer].TrySpend() {
+		return false
+	}
+	e.res.AttacksSpent++
+	return true
+}
+
+func (e *engine) finish() *Result {
+	res := &e.res
+	for i := 0; i < e.cfg.Torus.Size(); i++ {
+		id := grid.NodeID(i)
+		if e.bad[i] {
+			continue
+		}
+		res.TotalGood++
+		v, ok := e.proto.Decided(id)
+		if ok {
+			res.DecidedGood++
+			if v != radio.ValueTrue {
+				res.WrongDecisions++
+			}
+		}
+		msgs := int(res.DataSends[i] + res.NackSends[i])
+		if id != e.cfg.Source && msgs > res.MaxNodeMessages {
+			res.MaxNodeMessages = msgs
+		}
+	}
+	res.MaxNodeSubSlots = res.MaxNodeMessages * res.CodewordBits * res.SubBitLength
+	res.Completed = res.DecidedGood == res.TotalGood && res.WrongDecisions == 0
+	return res
+}

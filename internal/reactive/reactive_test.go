@@ -1,0 +1,206 @@
+package reactive
+
+import (
+	"testing"
+
+	"bftbcast/internal/adversary"
+	"bftbcast/internal/grid"
+)
+
+func baseConfig(tor *grid.Torus) Config {
+	return Config{
+		Torus:       tor,
+		T:           1,
+		MF:          3,
+		MMax:        64,
+		PayloadBits: 16,
+		Source:      tor.ID(0, 0),
+		Seed:        1,
+	}
+}
+
+func TestBreactiveFaultFree(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	cfg := baseConfig(tor)
+	cfg.T = 0
+	cfg.MF = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("fault-free Breactive incomplete: %d/%d", res.DecidedGood, res.TotalGood)
+	}
+	if res.WrongDecisions != 0 || res.ForgedDeliveries != 0 {
+		t.Fatalf("unexpected corruption: %+v", res)
+	}
+	// Without attacks every local broadcast is a single data round.
+	if res.MessageRounds != res.LocalBroadcasts {
+		t.Fatalf("MessageRounds = %d, LocalBroadcasts = %d", res.MessageRounds, res.LocalBroadcasts)
+	}
+}
+
+func TestBreactiveUnderDisruption(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	cfg := baseConfig(tor)
+	cfg.Placement = adversary.Random{T: 1, Density: 0.05, Seed: 3}
+	cfg.Policy = PolicyDisrupt
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("Breactive failed under disruption: %d/%d decided, %d wrong",
+			res.DecidedGood, res.TotalGood, res.WrongDecisions)
+	}
+	if res.AttacksSpent == 0 {
+		t.Fatal("adversary never attacked")
+	}
+	// Theorem 4 message bound: no good node sends more than 2(t*mf+1)
+	// messages (data + NACKs).
+	bound := 2 * (cfg.T*cfg.MF + 1)
+	if res.MaxNodeMessages > bound {
+		t.Fatalf("node sent %d messages, Theorem 4 bound is %d", res.MaxNodeMessages, bound)
+	}
+	if res.MaxNodeSubSlots > res.Theorem4SubSlots {
+		t.Fatalf("sub-slots %d exceed Theorem 4 budget %d", res.MaxNodeSubSlots, res.Theorem4SubSlots)
+	}
+}
+
+func TestBreactiveUnderNackSpam(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	cfg := baseConfig(tor)
+	cfg.Placement = adversary.Random{T: 1, Density: 0.05, Seed: 5}
+	cfg.Policy = PolicyNackSpam
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("Breactive failed under NACK spam: %d/%d", res.DecidedGood, res.TotalGood)
+	}
+	// Spam forces retransmissions but cannot corrupt anything.
+	if res.ForgedDeliveries != 0 || res.WrongDecisions != 0 {
+		t.Fatalf("NACK spam corrupted state: %+v", res)
+	}
+	if res.MessageRounds <= res.LocalBroadcasts {
+		t.Fatal("spam should force extra data rounds")
+	}
+}
+
+func TestBreactiveUnderMixedAttack(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	cfg := baseConfig(tor)
+	cfg.Placement = adversary.Random{T: 1, Density: 0.08, Seed: 7}
+	cfg.Policy = PolicyMixed
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With L = 2log(225)+log1+log64 = 16+0+6 = 22 the forge probability
+	// is ~2.4e-7; a run of this size succeeds essentially always.
+	if !res.Completed {
+		t.Fatalf("Breactive failed under mixed attack: %d/%d, %d wrong, %d forged",
+			res.DecidedGood, res.TotalGood, res.WrongDecisions, res.ForgedDeliveries)
+	}
+}
+
+func TestQuietWindowDefault(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	cfg := baseConfig(tor)
+	cfg.T = 0
+	cfg.MF = 0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// The default quiet window is (2r+1)^2-1 = 24; with a tiny override
+	// the run must still complete in the fault-free case.
+	cfg.QuietWindow = 1
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Completed {
+		t.Fatal("quiet window override broke the fault-free run")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	good := baseConfig(tor)
+
+	cases := []func(*Config){
+		func(c *Config) { c.Torus = nil },
+		func(c *Config) { c.T = -1 },
+		func(c *Config) { c.T = 5 }, // above ceil(10/2)-1 = 4
+		func(c *Config) { c.MF = -1 },
+		func(c *Config) { c.MMax = 0 },
+		func(c *Config) { c.MMax = 1; c.MF = 5 },
+		func(c *Config) { c.PayloadBits = 0 },
+		func(c *Config) { c.Source = grid.NodeID(tor.Size()) },
+	}
+	for i, mutate := range cases {
+		cfg := good
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	cfg := baseConfig(tor)
+	cfg.Placement = adversary.Random{T: 1, Density: 0.05, Seed: 9}
+	cfg.Policy = PolicyMixed
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MessageRounds != b.MessageRounds || a.AttacksSpent != b.AttacksSpent ||
+		a.DecidedGood != b.DecidedGood {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[AttackPolicy]string{
+		PolicyDisrupt:    "disrupt",
+		PolicyForge:      "forge",
+		PolicyNackSpam:   "nackspam",
+		PolicyMixed:      "mixed",
+		AttackPolicy(99): "policy(99)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestHigherFaultLoad(t *testing.T) {
+	// t=3 with r=2 is still below the CPA threshold (4); the broadcast
+	// must survive a denser adversary.
+	tor := grid.MustNew(20, 20, 2)
+	cfg := baseConfig(tor)
+	cfg.T = 3
+	cfg.MF = 2
+	cfg.Placement = adversary.Random{T: 3, Density: 0.08, Seed: 11}
+	cfg.Policy = PolicyDisrupt
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("Breactive failed at t=3: %d/%d", res.DecidedGood, res.TotalGood)
+	}
+	bound := 2 * (cfg.T*cfg.MF + 1)
+	if res.MaxNodeMessages > bound {
+		t.Fatalf("node sent %d messages, bound %d", res.MaxNodeMessages, bound)
+	}
+}

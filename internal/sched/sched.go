@@ -1,0 +1,81 @@
+// Package sched implements the pre-determined collision-free TDMA schedule
+// assumed by the paper's model: "there is a pre-determined time-slotted
+// schedule such that if all nodes follow the schedule then no collision
+// will occur".
+//
+// The schedule is a distance-(2r+1) coloring of the torus: node (x, y) owns
+// the slot class (x mod 2r+1) + (2r+1)·(y mod 2r+1), and time slot s
+// belongs to class s mod (2r+1)². Two nodes of the same class are at least
+// 2r+1 apart on each axis, so their neighborhoods are disjoint and their
+// simultaneous transmissions cannot collide at any receiver. For the
+// coloring to remain valid across the torus wrap, both torus sides must be
+// multiples of 2r+1; New enforces this.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"bftbcast/internal/grid"
+)
+
+// ErrNotDivisible is returned when a torus side is not a multiple of 2r+1,
+// which would break the coloring across the wrap.
+var ErrNotDivisible = errors.New("sched: torus sides must be multiples of 2r+1")
+
+// TDMA is a collision-free slot schedule for one torus. Construct with
+// New; the zero value is unusable.
+type TDMA struct {
+	period int
+	side   int
+	colors []int32 // color per node id
+}
+
+// New builds the schedule for t.
+func New(t *grid.Torus) (*TDMA, error) {
+	side := 2*t.Range() + 1
+	if t.Width()%side != 0 || t.Height()%side != 0 {
+		return nil, fmt.Errorf("%w (torus %dx%d, 2r+1=%d)", ErrNotDivisible, t.Width(), t.Height(), side)
+	}
+	s := &TDMA{period: side * side, side: side}
+	s.colors = make([]int32, t.Size())
+	for i := range s.colors {
+		x, y := t.XY(grid.NodeID(i))
+		s.colors[i] = int32((x % side) + side*(y%side))
+	}
+	return s, nil
+}
+
+// Period returns the schedule period (2r+1)²: every node owns exactly one
+// slot per period.
+func (s *TDMA) Period() int { return s.period }
+
+// ColorOf returns the slot class owned by id.
+func (s *TDMA) ColorOf(id grid.NodeID) int { return int(s.colors[id]) }
+
+// SlotColor returns the class that owns absolute slot number slot.
+func (s *TDMA) SlotColor(slot int) int {
+	c := slot % s.period
+	if c < 0 {
+		c += s.period
+	}
+	return c
+}
+
+// Owns reports whether id is scheduled to transmit in the given absolute
+// slot.
+func (s *TDMA) Owns(id grid.NodeID, slot int) bool {
+	return int(s.colors[id]) == s.SlotColor(slot)
+}
+
+// NextSlotFor returns the first absolute slot >= from in which id owns the
+// channel.
+func (s *TDMA) NextSlotFor(id grid.NodeID, from int) int {
+	want := int(s.colors[id])
+	cur := s.SlotColor(from)
+	delta := want - cur
+	if delta < 0 {
+		delta += s.period
+	}
+	return from + delta
+}

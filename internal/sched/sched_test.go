@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"testing"
+
+	"bftbcast/internal/grid"
+)
+
+func TestNewRequiresDivisibleSides(t *testing.T) {
+	tor := grid.MustNew(10, 10, 2) // 2r+1 = 5 divides 10
+	if _, err := New(tor); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	tor2 := grid.MustNew(11, 10, 2)
+	if _, err := New(tor2); err == nil {
+		t.Fatal("11x10 with r=2 should be rejected")
+	}
+	tor3 := grid.MustNew(10, 12, 2)
+	if _, err := New(tor3); err == nil {
+		t.Fatal("10x12 with r=2 should be rejected")
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	for _, r := range []int{1, 2, 3, 4} {
+		side := 2*r + 1
+		tor := grid.MustNew(3*side, 3*side, r)
+		s, err := New(tor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Period(); got != side*side {
+			t.Fatalf("r=%d Period = %d, want %d", r, got, side*side)
+		}
+	}
+}
+
+func TestEveryNodeOwnsOneSlotPerPeriod(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	s, err := New(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tor.Size(); i++ {
+		id := grid.NodeID(i)
+		owned := 0
+		for slot := 0; slot < s.Period(); slot++ {
+			if s.Owns(id, slot) {
+				owned++
+			}
+		}
+		if owned != 1 {
+			t.Fatalf("node %d owns %d slots per period", id, owned)
+		}
+	}
+}
+
+func TestSameColorNodesNeverShareReceivers(t *testing.T) {
+	// The collision-freedom invariant: two distinct nodes with the same
+	// color must have no common node within range r of both.
+	tor := grid.MustNew(15, 15, 2)
+	s, err := New(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byColor := make(map[int][]grid.NodeID)
+	for i := 0; i < tor.Size(); i++ {
+		id := grid.NodeID(i)
+		byColor[s.ColorOf(id)] = append(byColor[s.ColorOf(id)], id)
+	}
+	for color, nodes := range byColor {
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if tor.Dist(nodes[i], nodes[j]) <= 2*tor.Range() {
+					t.Fatalf("color %d nodes %v and %v are within 2r", color, nodes[i], nodes[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSlotColorHandlesNegative(t *testing.T) {
+	tor := grid.MustNew(9, 9, 1)
+	s, err := New(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SlotColor(-1); got != s.Period()-1 {
+		t.Fatalf("SlotColor(-1) = %d, want %d", got, s.Period()-1)
+	}
+}
+
+func TestNextSlotFor(t *testing.T) {
+	tor := grid.MustNew(9, 9, 1)
+	s, err := New(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tor.Size(); i++ {
+		id := grid.NodeID(i)
+		for from := 0; from < 2*s.Period(); from++ {
+			slot := s.NextSlotFor(id, from)
+			if slot < from || slot >= from+s.Period() {
+				t.Fatalf("NextSlotFor(%d,%d) = %d out of window", id, from, slot)
+			}
+			if !s.Owns(id, slot) {
+				t.Fatalf("NextSlotFor(%d,%d) = %d not owned", id, from, slot)
+			}
+			// No earlier owned slot in [from, slot).
+			for x := from; x < slot; x++ {
+				if s.Owns(id, x) {
+					t.Fatalf("NextSlotFor missed earlier slot %d", x)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,457 @@
+// Package sim is the deterministic discrete-event engine that executes a
+// threshold broadcast protocol (a core.Spec) on a torus against an
+// adversary, at time-slot granularity under the collision-free TDMA
+// schedule.
+//
+// Each slot the engine: (1) emits the transmissions of the slot's color
+// class (every decided node with pending relays, plus the base station);
+// (2) resolves them into tentative deliveries; (3) asks the adversary
+// strategy for jamming transmissions; (4) re-resolves and applies the
+// final deliveries to the per-node value counters; (5) turns threshold
+// crossings into acceptances, which schedule new relays. The run ends when
+// no transmissions remain pending: either every good node has decided
+// Vtrue (Completed) or the broadcast has stalled.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"bftbcast/internal/adversary"
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/radio"
+	"bftbcast/internal/sched"
+)
+
+// maxTrackedValue bounds the distinct broadcast values the engine tracks
+// per node. The protocols use ValueTrue and adversaries typically a single
+// wrong value; a handful of extra slots accommodates multi-value attacks.
+const maxTrackedValue = 7
+
+// Config describes one simulation run.
+type Config struct {
+	Torus  *grid.Torus
+	Params core.Params
+	Spec   core.Spec
+	// Source is the base station (defaults to node (0,0)).
+	Source grid.NodeID
+	// Placement chooses the bad set; nil means no bad nodes.
+	Placement adversary.Placement
+	// Strategy drives the bad nodes; nil means they stay silent.
+	Strategy adversary.Strategy
+	// MaxSlots caps the run; 0 picks a generous default derived from the
+	// spec and torus size.
+	MaxSlots int
+	// OnAccept, when non-nil, observes every acceptance.
+	OnAccept func(slot int, id grid.NodeID, v radio.Value)
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Completed is true when every good node decided Vtrue.
+	Completed bool
+	// Stalled is true when transmissions drained with good nodes still
+	// undecided: the broadcast failed.
+	Stalled bool
+	// TimedOut is true when MaxSlots elapsed with work pending.
+	TimedOut bool
+
+	Slots          int
+	TotalGood      int
+	DecidedGood    int
+	WrongDecisions int // good nodes that accepted a value != Vtrue (Lemma 1: must be 0)
+
+	GoodMessages int // protocol transmissions, source included
+	BadMessages  int // adversarial transmissions
+	RejectedJams int // strategy bugs: jams from non-bad or broke nodes
+
+	GoodGoodCollisions int // schedule violations (must be 0)
+	BadCount           int
+
+	// Per-node final state, indexed by NodeID.
+	Decided      []bool
+	DecidedValue []radio.Value
+	Correct      []int32 // copies of Vtrue received
+	Wrong        []int32 // copies of other values received
+	Sent         []int32 // protocol messages sent (good nodes)
+
+	AvgGoodSends float64 // mean Sent over good non-source nodes
+	MaxGoodSends int
+}
+
+// engine is the mutable run state.
+type engine struct {
+	cfg      Config
+	tor      *grid.Torus
+	schedule *sched.TDMA
+	medium   *radio.Medium
+
+	bad        []bool
+	decided    []bool
+	decidedVal []radio.Value
+	counts     []int32 // [node*(maxTrackedValue+1) + value]
+	correct    []int32
+	wrong      []int32
+	sent       []int32
+	pending    []int32
+	supplies   []bool // node currently contributes to neighbors' supply
+	supply     []int32
+	goodBudget []radio.Budget
+	badBudget  []radio.Budget
+
+	colorNodes   [][]grid.NodeID
+	pendingTotal int64
+
+	res Result
+}
+
+// Run executes the configured simulation and returns its Result.
+func Run(cfg Config) (*Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	if cfg.Torus == nil {
+		return nil, errors.New("sim: config needs a torus")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Params.R != cfg.Torus.Range() {
+		return nil, fmt.Errorf("sim: params r=%d but torus r=%d", cfg.Params.R, cfg.Torus.Range())
+	}
+	schedule, err := sched.New(cfg.Torus)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Torus.Size()
+	if int(cfg.Source) < 0 || int(cfg.Source) >= n {
+		return nil, fmt.Errorf("sim: source %d out of range", cfg.Source)
+	}
+
+	placement := cfg.Placement
+	if placement == nil {
+		placement = adversary.None{}
+	}
+	bad, err := placement.Place(cfg.Torus, cfg.Source)
+	if err != nil {
+		return nil, fmt.Errorf("sim: placement %q: %w", placement.Name(), err)
+	}
+	if _, err := adversary.Validate(cfg.Torus, bad, cfg.Source, cfg.Params.T); err != nil {
+		return nil, err
+	}
+
+	e := &engine{
+		cfg:        cfg,
+		tor:        cfg.Torus,
+		schedule:   schedule,
+		medium:     radio.NewMedium(cfg.Torus),
+		bad:        bad,
+		decided:    make([]bool, n),
+		decidedVal: make([]radio.Value, n),
+		counts:     make([]int32, n*(maxTrackedValue+1)),
+		correct:    make([]int32, n),
+		wrong:      make([]int32, n),
+		sent:       make([]int32, n),
+		pending:    make([]int32, n),
+		supplies:   make([]bool, n),
+		supply:     make([]int32, n),
+		goodBudget: make([]radio.Budget, n),
+		badBudget:  make([]radio.Budget, n),
+	}
+	for i := 0; i < n; i++ {
+		id := grid.NodeID(i)
+		if bad[i] {
+			e.badBudget[i] = radio.NewBudget(cfg.Params.MF)
+			e.res.BadCount++
+			continue
+		}
+		if id == cfg.Source {
+			e.goodBudget[i] = radio.Unlimited()
+			continue
+		}
+		e.goodBudget[i] = radio.NewBudget(cfg.Spec.Budget(id))
+	}
+
+	e.colorNodes = make([][]grid.NodeID, schedule.Period())
+	for i := 0; i < n; i++ {
+		c := schedule.ColorOf(grid.NodeID(i))
+		e.colorNodes[c] = append(e.colorNodes[c], grid.NodeID(i))
+	}
+
+	// Base station: decided on Vtrue, repeats it SourceRepeats times.
+	e.decided[cfg.Source] = true
+	e.decidedVal[cfg.Source] = radio.ValueTrue
+	e.addPending(cfg.Source, cfg.Spec.SourceRepeats)
+	return e, nil
+}
+
+// addPending schedules n more transmissions at id and, when id supplies
+// Vtrue, credits the supply estimate of its neighbors.
+func (e *engine) addPending(id grid.NodeID, n int) {
+	if n <= 0 {
+		return
+	}
+	e.pending[id] += int32(n)
+	e.pendingTotal += int64(n)
+	if e.decidedVal[id] == radio.ValueTrue && !e.bad[id] {
+		e.supplies[id] = true
+		e.tor.ForEachNeighbor(id, func(nb grid.NodeID) {
+			e.supply[nb] += int32(n)
+		})
+	}
+}
+
+func (e *engine) defaultMaxSlots() int {
+	maxSends := 0
+	for i := 0; i < e.tor.Size(); i++ {
+		if s := e.cfg.Spec.Sends(grid.NodeID(i)); s > maxSends {
+			maxSends = s
+		}
+	}
+	period := e.schedule.Period()
+	hops := e.tor.Width() + e.tor.Height() + 2
+	return period * (e.cfg.Spec.SourceRepeats + hops*(maxSends+1) + 2*period)
+}
+
+func (e *engine) run() (*Result, error) {
+	maxSlots := e.cfg.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = e.defaultMaxSlots()
+	}
+	var (
+		txs       []radio.Tx
+		tentative []radio.Delivery
+	)
+	view := engineView{e}
+	slot := 0
+	for ; e.pendingTotal > 0 && slot < maxSlots; slot++ {
+		color := e.schedule.SlotColor(slot)
+		txs = txs[:0]
+		for _, id := range e.colorNodes[color] {
+			if e.pending[id] <= 0 || e.bad[id] {
+				continue
+			}
+			if !e.goodBudget[id].TrySpend() {
+				// Budget exhausted below the protocol's send count:
+				// drop the remaining pendings (can happen only when a
+				// spec sends more than its own budget).
+				e.dropPending(id)
+				continue
+			}
+			e.consumePending(id)
+			e.sent[id]++
+			e.res.GoodMessages++
+			txs = append(txs, radio.Tx{From: id, Value: e.decidedVal[id]})
+		}
+
+		tentative = tentative[:0]
+		if len(txs) > 0 {
+			if err := e.medium.Resolve(txs, func(d radio.Delivery) {
+				tentative = append(tentative, d)
+			}); err != nil {
+				return nil, err
+			}
+		}
+
+		var jams []radio.Tx
+		if e.cfg.Strategy != nil {
+			jams = e.validateJams(e.cfg.Strategy.Jams(view, slot, tentative))
+		}
+
+		if len(jams) == 0 {
+			for _, d := range tentative {
+				e.deliver(slot, d)
+			}
+			continue
+		}
+		txs = append(txs, jams...)
+		if err := e.medium.Resolve(txs, func(d radio.Delivery) {
+			e.deliver(slot, d)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	return e.finish(slot, maxSlots), nil
+}
+
+// consumePending removes one pending transmission from id, debiting the
+// neighbors' supply when id was a Vtrue supplier.
+func (e *engine) consumePending(id grid.NodeID) {
+	e.pending[id]--
+	e.pendingTotal--
+	if e.supplies[id] {
+		e.tor.ForEachNeighbor(id, func(nb grid.NodeID) {
+			e.supply[nb]--
+		})
+	}
+}
+
+// dropPending discards all remaining pendings of id.
+func (e *engine) dropPending(id grid.NodeID) {
+	p := e.pending[id]
+	if p <= 0 {
+		return
+	}
+	e.pending[id] = 0
+	e.pendingTotal -= int64(p)
+	if e.supplies[id] {
+		e.tor.ForEachNeighbor(id, func(nb grid.NodeID) {
+			e.supply[nb] -= p
+		})
+	}
+}
+
+// validateJams enforces the adversary rules: jams must come from distinct
+// bad nodes with remaining budget, carry a trackable value, and each costs
+// one budget unit.
+func (e *engine) validateJams(jams []radio.Tx) []radio.Tx {
+	if len(jams) == 0 {
+		return nil
+	}
+	valid := jams[:0]
+	seen := make(map[grid.NodeID]bool, len(jams))
+	for _, j := range jams {
+		switch {
+		case int(j.From) < 0 || int(j.From) >= e.tor.Size(),
+			!e.bad[j.From],
+			seen[j.From],
+			!j.Jam,
+			!j.Drop && (j.Value <= 0 || j.Value > maxTrackedValue):
+			e.res.RejectedJams++
+			continue
+		}
+		if !e.badBudget[j.From].TrySpend() {
+			e.res.RejectedJams++
+			continue
+		}
+		seen[j.From] = true
+		e.res.BadMessages++
+		valid = append(valid, j)
+	}
+	return valid
+}
+
+// deliver applies one final delivery to the receiver's counters and
+// processes a threshold crossing.
+func (e *engine) deliver(slot int, d radio.Delivery) {
+	u := d.To
+	if e.bad[u] {
+		return // adversary nodes do not run the protocol
+	}
+	if d.Value == radio.ValueTrue {
+		e.correct[u]++
+	} else {
+		e.wrong[u]++
+	}
+	v := d.Value
+	if v < 0 || v > maxTrackedValue {
+		v = maxTrackedValue // clamp exotic values into the last bucket
+	}
+	idx := int(u)*(maxTrackedValue+1) + int(v)
+	e.counts[idx]++
+	if e.decided[u] || e.counts[idx] != int32(e.cfg.Spec.Threshold) {
+		return
+	}
+	e.accept(slot, u, d.Value)
+}
+
+// accept commits node u to value v and schedules its relays.
+func (e *engine) accept(slot int, u grid.NodeID, v radio.Value) {
+	e.decided[u] = true
+	e.decidedVal[u] = v
+	if v != radio.ValueTrue {
+		e.res.WrongDecisions++
+	}
+	sends := e.cfg.Spec.Sends(u)
+	if left := e.goodBudget[u].Left(); left >= 0 && sends > left {
+		sends = left
+	}
+	e.addPending(u, sends)
+	if e.cfg.OnAccept != nil {
+		e.cfg.OnAccept(slot, u, v)
+	}
+}
+
+func (e *engine) finish(slot, maxSlots int) *Result {
+	res := &e.res
+	res.Slots = slot
+	res.TimedOut = e.pendingTotal > 0 && slot >= maxSlots
+	res.GoodGoodCollisions = e.medium.GoodGoodCollisions
+
+	var sumSends, goodNonSource int
+	allTrue := true
+	for i := 0; i < e.tor.Size(); i++ {
+		id := grid.NodeID(i)
+		if e.bad[i] {
+			continue
+		}
+		res.TotalGood++
+		if e.decided[i] {
+			res.DecidedGood++
+			if e.decidedVal[i] != radio.ValueTrue {
+				allTrue = false
+			}
+		} else {
+			allTrue = false
+		}
+		if id != e.cfg.Source {
+			goodNonSource++
+			sumSends += int(e.sent[i])
+			if int(e.sent[i]) > res.MaxGoodSends {
+				res.MaxGoodSends = int(e.sent[i])
+			}
+		}
+	}
+	res.Completed = allTrue && res.DecidedGood == res.TotalGood
+	res.Stalled = !res.Completed && !res.TimedOut
+	if goodNonSource > 0 {
+		res.AvgGoodSends = float64(sumSends) / float64(goodNonSource)
+	}
+	res.Decided = e.decided
+	res.DecidedValue = e.decidedVal
+	res.Correct = e.correct
+	res.Wrong = e.wrong
+	res.Sent = e.sent
+	return res
+}
+
+// engineView adapts the engine to adversary.View.
+type engineView struct{ e *engine }
+
+var _ adversary.View = engineView{}
+
+// Torus implements adversary.View.
+func (v engineView) Torus() *grid.Torus { return v.e.tor }
+
+// IsBad implements adversary.View.
+func (v engineView) IsBad(id grid.NodeID) bool { return v.e.bad[id] }
+
+// IsDecided implements adversary.View.
+func (v engineView) IsDecided(id grid.NodeID) bool { return v.e.decided[id] }
+
+// CorrectCount implements adversary.View.
+func (v engineView) CorrectCount(id grid.NodeID) int { return int(v.e.correct[id]) }
+
+// Threshold implements adversary.View.
+func (v engineView) Threshold() int { return v.e.cfg.Spec.Threshold }
+
+// Supply implements adversary.View.
+func (v engineView) Supply(id grid.NodeID) int { return int(v.e.supply[id]) }
+
+// BadBudgetLeft implements adversary.View.
+func (v engineView) BadBudgetLeft(id grid.NodeID) int {
+	if !v.e.bad[id] {
+		return 0
+	}
+	return v.e.badBudget[id].Left()
+}

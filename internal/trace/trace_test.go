@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLRecords(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewJSONL(&buf)
+	events := []Event{
+		{Slot: 1, Node: 7, Kind: KindAccept, Value: 1},
+		{Slot: 9, Kind: KindDone},
+	}
+	for _, e := range events {
+		if err := rec.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Count() != 2 {
+		t.Fatalf("Count = %d", rec.Count())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var got Event
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != events[0] {
+		t.Fatalf("round trip: %+v != %+v", got, events[0])
+	}
+}
+
+func TestNop(t *testing.T) {
+	if err := (Nop{}).Record(Event{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryCapEviction(t *testing.T) {
+	m := &Memory{Cap: 2}
+	for i := 0; i < 5; i++ {
+		if err := m.Record(Event{Slot: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.Events()
+	if len(got) != 2 || got[0].Slot != 3 || got[1].Slot != 4 {
+		t.Fatalf("events = %+v", got)
+	}
+	if m.Dropped() != 3 {
+		t.Fatalf("Dropped = %d", m.Dropped())
+	}
+}
+
+func TestMemoryConcurrent(t *testing.T) {
+	m := &Memory{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = m.Record(Event{Slot: g*100 + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(m.Events()); got != 800 {
+		t.Fatalf("got %d events, want 800", got)
+	}
+}
