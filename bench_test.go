@@ -1,8 +1,9 @@
 package bftbcast_test
 
-// One benchmark per paper experiment (E1–E10, see DESIGN.md §5 and
+// One benchmark per paper experiment (E1–E11, see DESIGN.md §5 and
 // EXPERIMENTS.md), each running the corresponding reproduction through
-// the exper harness, plus micro-benchmarks of the core primitives. Run
+// the exper harness, plus micro-benchmarks of the core primitives and a
+// sequential-vs-parallel benchmark of the experiment harness itself. Run
 // with: go test -bench=. -benchmem
 //
 // Every experiment benchmark also validates the reproduced claim shape
@@ -11,6 +12,7 @@ package bftbcast_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"bftbcast"
@@ -78,6 +80,55 @@ func BenchmarkE9Lemma4Propagation(b *testing.B) { benchExperiment(b, "E9") }
 // segment-chain ablations.
 func BenchmarkE10Ablations(b *testing.B) { benchExperiment(b, "E10") }
 
+// BenchmarkE11Topologies runs the topology-generality comparison (torus
+// vs bounded grid vs random geometric graph).
+func BenchmarkE11Topologies(b *testing.B) { benchExperiment(b, "E11") }
+
+// --- Harness parallelism guardrail ---
+
+// benchSweep45 runs an 8-point sweep of protocol B on a 45×45 torus
+// (r=4, random adversary, one seed per point) through the experiment
+// harness's worker pool. The sequential and parallel variants execute
+// identical work, so their ratio is the harness speedup.
+func benchSweep45(b *testing.B, workers int) {
+	b.Helper()
+	tor, err := bftbcast.NewTorus(45, 45, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bftbcast.Params{R: 4, T: 2, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const points = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exper.ForEach(workers, points, func(j int) error {
+			res, err := bftbcast.RunSim(bftbcast.SimConfig{
+				Topo: tor, Params: params, Spec: spec,
+				Placement: bftbcast.RandomPlacement{T: 2, Density: 0.05, Seed: uint64(j + 1)},
+				Strategy:  bftbcast.NewCorruptor(),
+			})
+			if err != nil {
+				return err
+			}
+			if !res.Completed {
+				b.Errorf("sweep point %d did not complete", j)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep45Sequential is the 45×45 sweep on one worker.
+func BenchmarkSweep45Sequential(b *testing.B) { benchSweep45(b, 1) }
+
+// BenchmarkSweep45Parallel is the same sweep on runtime.NumCPU() workers.
+func BenchmarkSweep45Parallel(b *testing.B) { benchSweep45(b, runtime.NumCPU()) }
+
 // --- Micro-benchmarks of the core primitives ---
 
 // BenchmarkProtocolBRun measures a full protocol B broadcast on a 20×20
@@ -95,7 +146,7 @@ func BenchmarkProtocolBRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := bftbcast.RunSim(bftbcast.SimConfig{
-			Torus: tor, Params: params, Spec: spec,
+			Topo: tor, Params: params, Spec: spec,
 			Placement: bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 7},
 			Strategy:  bftbcast.NewCorruptor(),
 		})
@@ -122,7 +173,7 @@ func BenchmarkActorRun(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := bftbcast.RunActor(bftbcast.ActorConfig{Torus: tor, Params: params, Spec: spec})
+		res, err := bftbcast.RunActor(bftbcast.ActorConfig{Topo: tor, Params: params, Spec: spec})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -183,7 +234,7 @@ func BenchmarkReactiveBroadcast(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := bftbcast.RunReactive(bftbcast.ReactiveConfig{
-			Torus: tor, T: 1, MF: 3, MMax: 64, PayloadBits: 16,
+			Topo: tor, T: 1, MF: 3, MMax: 64, PayloadBits: 16,
 			Placement: bftbcast.RandomPlacement{T: 1, Density: 0.06, Seed: 5},
 			Policy:    bftbcast.PolicyDisrupt,
 			Seed:      9,

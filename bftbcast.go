@@ -18,8 +18,12 @@
 //   - a deterministic slot-level simulator with worst-case adversary
 //     strategies, including the Theorem 1 stripe and Figure 2 lattice
 //     constructions, and a goroutine-per-node concurrent runtime;
+//   - pluggable network topologies (the paper's torus, a bounded grid
+//     with border effects, a random geometric graph) behind the
+//     Topology interface;
 //   - the experiment harness regenerating every quantitative claim of
-//     the paper (see EXPERIMENTS.md).
+//     the paper (see EXPERIMENTS.md), parallelized over a
+//     deterministic worker pool.
 //
 // Quick start:
 //
@@ -27,7 +31,7 @@
 //	params := bftbcast.Params{R: 2, T: 3, MF: 2}
 //	spec, _ := bftbcast.NewProtocolB(params)
 //	res, _ := bftbcast.RunSim(bftbcast.SimConfig{
-//		Torus: tor, Params: params, Spec: spec,
+//		Topo: tor, Params: params, Spec: spec,
 //		Placement: bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 1},
 //		Strategy:  bftbcast.NewCorruptor(),
 //	})
@@ -45,12 +49,23 @@ import (
 	"bftbcast/internal/radio"
 	"bftbcast/internal/reactive"
 	"bftbcast/internal/sim"
+	"bftbcast/internal/topo"
 )
 
 // Core model types.
 type (
-	// Torus is the toroidal grid the network lives on.
+	// Topology is the network abstraction the engine runs on: the
+	// paper's torus, a bounded (non-wrapping) grid, or a random
+	// geometric graph.
+	Topology = topo.Topology
+	// TopologySpec selects a topology by name (see NewTopology).
+	TopologySpec = topo.Spec
+	// Torus is the toroidal grid of the paper, the canonical Topology.
 	Torus = grid.Torus
+	// BoundedGrid is the non-wrapping grid Topology (border effects).
+	BoundedGrid = topo.Bounded
+	// RGG is the random-geometric-graph Topology (hop adjacency).
+	RGG = topo.RGG
 	// NodeID identifies a node (dense, usable as array index).
 	NodeID = grid.NodeID
 	// Rect is a rectangular node region ([x1..x2, y1..y2] in the
@@ -131,6 +146,19 @@ type (
 
 // NewTorus builds a W×H torus with radio range r.
 func NewTorus(w, h, r int) (*Torus, error) { return grid.New(w, h, r) }
+
+// NewBoundedGrid builds a W×H grid with radio range r and no wraparound:
+// the torus without the paper's "avoid edge effect" assumption.
+func NewBoundedGrid(w, h, r int) (*BoundedGrid, error) { return topo.NewBounded(w, h, r) }
+
+// NewRGG builds a connected random geometric graph with n nodes placed
+// from the seed, growing the connection radius until connected. Its
+// metric is hop distance and its range is 1 (adjacency).
+func NewRGG(n int, seed uint64) (*RGG, error) { return topo.NewConnectedRGG(n, seed) }
+
+// NewTopology builds a topology by name ("torus", "grid", "rgg"); it
+// backs the -topology flag of cmd/bftsim.
+func NewTopology(s TopologySpec) (Topology, error) { return topo.New(s) }
 
 // Span builds the node region [x1..x2, y1..y2].
 func Span(x1, x2, y1, y2 int) Rect { return grid.Span(x1, x2, y1, y2) }

@@ -17,7 +17,7 @@ func TestFacadeQuickstart(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := bftbcast.RunSim(bftbcast.SimConfig{
-		Torus: tor, Params: params, Spec: spec,
+		Topo: tor, Params: params, Spec: spec,
 		Placement: bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 1},
 		Strategy:  bftbcast.NewCorruptor(),
 	})
@@ -50,7 +50,7 @@ func TestFacadeReactive(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := bftbcast.RunReactive(bftbcast.ReactiveConfig{
-		Torus: tor, T: 1, MF: 2, MMax: 32, PayloadBits: 16,
+		Topo: tor, T: 1, MF: 2, MMax: 32, PayloadBits: 16,
 		Placement: bftbcast.RandomPlacement{T: 1, Density: 0.05, Seed: 2},
 		Policy:    bftbcast.PolicyDisrupt,
 		Seed:      3,
@@ -73,7 +73,7 @@ func TestFacadeActor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := bftbcast.RunActor(bftbcast.ActorConfig{Torus: tor, Params: params, Spec: spec})
+	res, err := bftbcast.RunActor(bftbcast.ActorConfig{Topo: tor, Params: params, Spec: spec})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,15 +1,21 @@
-// Command bftbench runs the experiment suite E1–E10 that regenerates the
+// Command bftbench runs the experiment suite E1–E11 that regenerates the
 // paper's quantitative results and prints the resulting tables.
 //
 // Usage:
 //
-//	bftbench [-experiment E2] [-quick] [-seed 42]
+//	bftbench [-experiment E2] [-quick] [-seed 42] [-parallel] [-workers N]
+//
+// With -parallel the experiments and their inner sweep points run on a
+// pool of runtime.NumCPU() workers (override with -workers). Every run
+// derives its RNG seed from -seed and the sweep index, so the printed
+// results are identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"bftbcast/internal/exper"
 )
@@ -22,12 +28,20 @@ func main() {
 }
 
 func run() error {
-	id := flag.String("experiment", "", "run a single experiment (E1..E10); empty = all")
+	id := flag.String("experiment", "", "run a single experiment (E1..E11); empty = all")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	seed := flag.Uint64("seed", 42, "random seed")
+	parallel := flag.Bool("parallel", false, "run experiments and sweep points on a worker pool")
+	workers := flag.Int("workers", 0, "worker pool size with -parallel (0 = NumCPU)")
 	flag.Parse()
 
 	opts := exper.Options{Quick: *quick, Seed: *seed}
+	if *parallel {
+		opts.Workers = *workers
+		if opts.Workers <= 0 {
+			opts.Workers = runtime.NumCPU()
+		}
+	}
 	experiments := exper.All()
 	if *id != "" {
 		e, ok := exper.ByID(*id)
@@ -36,11 +50,11 @@ func run() error {
 		}
 		experiments = []exper.Experiment{e}
 	}
+	outcomes, runErr := exper.RunMany(experiments, opts)
 	failures := 0
-	for _, e := range experiments {
-		out, err := e.Run(opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	for _, out := range outcomes {
+		if out == nil {
+			continue // errored before producing an outcome
 		}
 		if _, err := out.WriteTo(os.Stdout); err != nil {
 			return err
@@ -48,6 +62,9 @@ func run() error {
 		if !out.Passed {
 			failures++
 		}
+	}
+	if runErr != nil {
+		return runErr
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failures)

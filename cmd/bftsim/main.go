@@ -6,6 +6,8 @@
 //	bftsim -w 20 -h 20 -r 2 -t 3 -mf 2 -adversary random -density 0.1
 //	bftsim -w 45 -h 45 -r 4 -t 1 -mf 1000 -protocol full -m 59 -adversary figure2
 //	bftsim -w 15 -h 15 -r 2 -t 1 -mf 3 -protocol reactive -policy disrupt
+//	bftsim -topology grid -w 20 -h 20 -r 2 -t 2 -mf 2 -adversary random
+//	bftsim -topology rgg -n 300 -t 1 -mf 2 -adversary random
 package main
 
 import (
@@ -26,16 +28,18 @@ func main() {
 
 func run() error {
 	var (
-		w         = flag.Int("w", 20, "torus width (multiple of 2r+1)")
-		h         = flag.Int("h", 20, "torus height (multiple of 2r+1)")
-		r         = flag.Int("r", 2, "radio range")
+		topology  = flag.String("topology", "torus", "topology: torus | grid (bounded, border effects) | rgg (random geometric graph)")
+		w         = flag.Int("w", 20, "grid width (torus: multiple of 2r+1)")
+		h         = flag.Int("h", 20, "grid height (torus: multiple of 2r+1)")
+		r         = flag.Int("r", 2, "radio range (grid topologies; rgg always uses hop range 1)")
+		n         = flag.Int("n", 0, "rgg node count (0 = w*h)")
 		t         = flag.Int("t", 3, "max bad nodes per neighborhood")
 		mf        = flag.Int("mf", 2, "bad node message budget")
 		protocol  = flag.String("protocol", "b", "protocol: b | bheter | koo | full | reactive")
 		m         = flag.Int("m", 0, "budget for -protocol full")
-		adv       = flag.String("adversary", "none", "adversary: none | random | sandwich | figure2")
+		adv       = flag.String("adversary", "none", "adversary: none | random | sandwich | figure2 (sandwich/figure2 are torus constructions)")
 		density   = flag.Float64("density", 0.1, "bad density for -adversary random")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		seed      = flag.Uint64("seed", 1, "random seed (also drives the rgg layout)")
 		policy    = flag.String("policy", "disrupt", "reactive attack policy: disrupt|forge|nackspam|mixed")
 		mmax      = flag.Int("mmax", 64, "loose budget bound known to the reactive protocol")
 		k         = flag.Int("k", 16, "payload bits for the reactive protocol")
@@ -43,20 +47,28 @@ func run() error {
 	)
 	flag.Parse()
 
-	tor, err := bftbcast.NewTorus(*w, *h, *r)
+	tp, err := bftbcast.NewTopology(bftbcast.TopologySpec{
+		Kind: *topology, W: *w, H: *h, R: *r, Nodes: *n, Seed: *seed,
+	})
 	if err != nil {
 		return err
 	}
 	if *protocol == "reactive" {
-		return runReactive(tor, *t, *mf, *mmax, *k, *adv, *density, *seed, *policy)
+		return runReactive(tp, *t, *mf, *mmax, *k, *adv, *density, *seed, *policy)
 	}
 
-	params := bftbcast.Params{R: *r, T: *t, MF: *mf}
+	// The fault-model range follows the topology (an rgg always has hop
+	// range 1, whatever -r says).
+	params := bftbcast.Params{R: tp.Range(), T: *t, MF: *mf}
 	var spec bftbcast.Spec
 	switch *protocol {
 	case "b":
 		spec, err = bftbcast.NewProtocolB(params)
 	case "bheter":
+		tor, ok := tp.(*bftbcast.Torus)
+		if !ok {
+			return fmt.Errorf("-protocol bheter is a torus construction (got -topology %s)", *topology)
+		}
 		spec, err = bftbcast.NewBheter(params, tor, bftbcast.Cross{Center: tor.ID(0, 0), HalfWidth: *r})
 	case "koo":
 		spec, err = bftbcast.NewKooBaseline(params)
@@ -72,17 +84,25 @@ func run() error {
 		return err
 	}
 
-	cfg := bftbcast.SimConfig{Torus: tor, Params: params, Spec: spec, Source: tor.ID(0, 0)}
+	cfg := bftbcast.SimConfig{Topo: tp, Params: params, Spec: spec, Source: 0}
 	switch *adv {
 	case "none":
 	case "random":
 		cfg.Placement = bftbcast.RandomPlacement{T: *t, Density: *density, Seed: *seed}
 		cfg.Strategy = bftbcast.NewCorruptor()
 	case "sandwich":
+		tor, ok := tp.(*bftbcast.Torus)
+		if !ok {
+			return fmt.Errorf("-adversary sandwich is a torus construction (got -topology %s)", *topology)
+		}
 		sw := bftbcast.SandwichPlacement{YLow: *h/3 + 1, YHigh: *h/3 + 1 + 3**r, T: *t}
 		cfg.Placement = sw
 		cfg.Strategy = bftbcast.NewTargeted(sw.VictimBand(tor))
 	case "figure2":
+		tor, ok := tp.(*bftbcast.Torus)
+		if !ok {
+			return fmt.Errorf("-adversary figure2 is a torus construction (got -topology %s)", *topology)
+		}
 		cfg.Placement = bftbcast.LatticePlacement{Offsets: [][2]int{{*r, -*r}}}
 		victims := make([]bool, tor.Size())
 		for _, pr := range [][2]int{
@@ -108,8 +128,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol=%s adversary=%s torus=%dx%d r=%d t=%d mf=%d\n",
-		spec.Name, *adv, *w, *h, *r, *t, *mf)
+	fmt.Printf("protocol=%s adversary=%s topology=%q t=%d mf=%d\n",
+		spec.Name, *adv, tp, params.T, params.MF)
 	fmt.Printf("completed=%v stalled=%v timedOut=%v slots=%d\n",
 		res.Completed, res.Stalled, res.TimedOut, res.Slots)
 	fmt.Printf("decided=%d/%d wrongDecisions=%d\n", res.DecidedGood, res.TotalGood, res.WrongDecisions)
@@ -118,7 +138,7 @@ func run() error {
 	return nil
 }
 
-func runReactive(tor *bftbcast.Torus, t, mf, mmax, k int, adv string, density float64, seed uint64, policy string) error {
+func runReactive(tp bftbcast.Topology, t, mf, mmax, k int, adv string, density float64, seed uint64, policy string) error {
 	var pol bftbcast.AttackPolicy
 	switch policy {
 	case "disrupt":
@@ -133,8 +153,8 @@ func runReactive(tor *bftbcast.Torus, t, mf, mmax, k int, adv string, density fl
 		return fmt.Errorf("unknown policy %q", policy)
 	}
 	cfg := bftbcast.ReactiveConfig{
-		Torus: tor, T: t, MF: mf, MMax: mmax, PayloadBits: k,
-		Source: tor.ID(0, 0), Policy: pol, Seed: seed,
+		Topo: tp, T: t, MF: mf, MMax: mmax, PayloadBits: k,
+		Source: 0, Policy: pol, Seed: seed,
 	}
 	if adv == "random" {
 		cfg.Placement = bftbcast.RandomPlacement{T: t, Density: density, Seed: seed}
@@ -143,8 +163,8 @@ func runReactive(tor *bftbcast.Torus, t, mf, mmax, k int, adv string, density fl
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol=Breactive policy=%s t=%d mf=%d mmax=%d k=%d L=%d K=%d\n",
-		pol, t, mf, mmax, k, res.SubBitLength, res.CodewordBits)
+	fmt.Printf("protocol=Breactive topology=%q policy=%s t=%d mf=%d mmax=%d k=%d L=%d K=%d\n",
+		tp, pol, t, mf, mmax, k, res.SubBitLength, res.CodewordBits)
 	fmt.Printf("completed=%v decided=%d/%d wrong=%d forged=%d\n",
 		res.Completed, res.DecidedGood, res.TotalGood, res.WrongDecisions, res.ForgedDeliveries)
 	fmt.Printf("rounds=%d maxMsgs/node=%d (bound %d) maxSubSlots=%d (Theorem4 %d)\n",

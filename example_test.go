@@ -27,7 +27,7 @@ func ExampleNewProtocolB() {
 		panic(err)
 	}
 	res, err := bftbcast.RunSim(bftbcast.SimConfig{
-		Torus: tor, Params: params, Spec: spec, Source: tor.ID(0, 0),
+		Topo: tor, Params: params, Spec: spec, Source: tor.ID(0, 0),
 	})
 	if err != nil {
 		panic(err)

@@ -41,7 +41,7 @@ func main() {
 		{"B     (everyone 2m0)     ", homog},
 	} {
 		res, err := bftbcast.RunSim(bftbcast.SimConfig{
-			Torus:     tor,
+			Topo:      tor,
 			Params:    params,
 			Spec:      tc.spec,
 			Source:    src,

@@ -32,7 +32,7 @@ func main() {
 			log.Fatal(err)
 		}
 		res, err := bftbcast.RunSim(bftbcast.SimConfig{
-			Torus:     tor,
+			Topo:      tor,
 			Params:    params,
 			Spec:      spec,
 			Source:    tor.ID(0, 0),

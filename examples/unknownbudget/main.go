@@ -30,7 +30,7 @@ func main() {
 		bftbcast.PolicyDisrupt, bftbcast.PolicyNackSpam, bftbcast.PolicyMixed,
 	} {
 		res, err := bftbcast.RunReactive(bftbcast.ReactiveConfig{
-			Torus:       tor,
+			Topo:        tor,
 			T:           t,
 			MF:          mf,
 			MMax:        mmax,

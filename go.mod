@@ -1,0 +1,3 @@
+module bftbcast
+
+go 1.24

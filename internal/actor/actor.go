@@ -21,11 +21,13 @@ import (
 	"bftbcast/internal/grid"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/sched"
+	"bftbcast/internal/topo"
 )
 
 // Config describes a fault-free concurrent run.
 type Config struct {
-	Torus    *grid.Torus
+	// Topo is the network topology (grid.Torus, topo.Bounded, topo.RGG).
+	Topo     topo.Topology
 	Params   core.Params
 	Spec     core.Spec
 	Source   grid.NodeID
@@ -121,8 +123,8 @@ func (n *node) deliver(v radio.Value) {
 
 // Run executes the configured broadcast with one goroutine per node.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Torus == nil {
-		return nil, errors.New("actor: config needs a torus")
+	if cfg.Topo == nil {
+		return nil, errors.New("actor: config needs a topology")
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -130,14 +132,14 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Params.R != cfg.Torus.Range() {
-		return nil, fmt.Errorf("actor: params r=%d but torus r=%d", cfg.Params.R, cfg.Torus.Range())
+	if cfg.Params.R != cfg.Topo.Range() {
+		return nil, fmt.Errorf("actor: params r=%d but topology r=%d", cfg.Params.R, cfg.Topo.Range())
 	}
-	schedule, err := sched.New(cfg.Torus)
+	schedule, err := sched.New(cfg.Topo)
 	if err != nil {
 		return nil, err
 	}
-	n := cfg.Torus.Size()
+	n := cfg.Topo.Size()
 	if int(cfg.Source) < 0 || int(cfg.Source) >= n {
 		return nil, fmt.Errorf("actor: source %d out of range", cfg.Source)
 	}
@@ -176,10 +178,10 @@ func Run(cfg Config) (*Result, error) {
 	maxSlots := cfg.MaxSlots
 	if maxSlots <= 0 {
 		maxSlots = schedule.Period() * (cfg.Spec.SourceRepeats +
-			(cfg.Torus.Width()+cfg.Torus.Height()+2)*(maxSends(cfg)+1) + 2*schedule.Period())
+			cfg.Topo.DiameterHint()*(maxSends(cfg)+1) + 2*schedule.Period())
 	}
 
-	medium := radio.NewMedium(cfg.Torus)
+	medium := radio.NewMedium(cfg.Topo)
 	pendingTotal := int64(cfg.Spec.SourceRepeats)
 	var (
 		txs        []radio.Tx
@@ -254,7 +256,7 @@ func Run(cfg Config) (*Result, error) {
 
 func maxSends(cfg Config) int {
 	maxS := 0
-	for i := 0; i < cfg.Torus.Size(); i++ {
+	for i := 0; i < cfg.Topo.Size(); i++ {
 		if s := cfg.Spec.Sends(grid.NodeID(i)); s > maxS {
 			maxS = s
 		}

@@ -15,7 +15,7 @@ func TestConcurrentBroadcastCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Config{Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0)})
+	res, err := Run(Config{Topo: tor, Params: p, Spec: spec, Source: tor.ID(0, 0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +43,11 @@ func TestEquivalenceWithSequentialEngine(t *testing.T) {
 			t.Fatal(err)
 		}
 		src := tor.ID(tc.srcX, tc.srcX)
-		seq, err := sim.Run(sim.Config{Torus: tor, Params: tc.p, Spec: spec, Source: src})
+		seq, err := sim.Run(sim.Config{Topo: tor, Params: tc.p, Spec: spec, Source: src})
 		if err != nil {
 			t.Fatal(err)
 		}
-		conc, err := Run(Config{Torus: tor, Params: tc.p, Spec: spec, Source: src})
+		conc, err := Run(Config{Topo: tor, Params: tc.p, Spec: spec, Source: src})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,13 +75,13 @@ func TestValidation(t *testing.T) {
 	if _, err := Run(Config{Params: p, Spec: spec}); err == nil {
 		t.Fatal("nil torus accepted")
 	}
-	if _, err := Run(Config{Torus: tor, Params: core.Params{R: 3, T: 1, MF: 1}, Spec: spec}); err == nil {
+	if _, err := Run(Config{Topo: tor, Params: core.Params{R: 3, T: 1, MF: 1}, Spec: spec}); err == nil {
 		t.Fatal("range mismatch accepted")
 	}
-	if _, err := Run(Config{Torus: tor, Params: p, Spec: spec, Source: grid.NodeID(tor.Size())}); err == nil {
+	if _, err := Run(Config{Topo: tor, Params: p, Spec: spec, Source: grid.NodeID(tor.Size())}); err == nil {
 		t.Fatal("bad source accepted")
 	}
-	if _, err := Run(Config{Torus: tor, Params: p, Spec: core.Spec{}}); err == nil {
+	if _, err := Run(Config{Topo: tor, Params: p, Spec: core.Spec{}}); err == nil {
 		t.Fatal("invalid spec accepted")
 	}
 }
@@ -93,7 +93,7 @@ func TestTimeoutReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Config{Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0), MaxSlots: 3})
+	res, err := Run(Config{Topo: tor, Params: p, Spec: spec, Source: tor.ID(0, 0), MaxSlots: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,31 +15,47 @@ import (
 
 	"bftbcast/internal/grid"
 	"bftbcast/internal/stats"
+	"bftbcast/internal/topo"
 )
 
-// Placement chooses the bad-node set on a torus. The source (base
+// Placement chooses the bad-node set on a topology. The source (base
 // station) is always correct and must never be marked.
+//
+// None and Random work on any topology; the construction placements
+// (Stripe, Sandwich, Lattice) realize toroidal proofs and reject
+// non-torus topologies with ErrNeedsTorus.
 type Placement interface {
 	// Name identifies the placement in reports.
 	Name() string
 	// Place returns the bad-node mask, indexed by NodeID.
-	Place(t *grid.Torus, source grid.NodeID) ([]bool, error)
+	Place(t topo.Topology, source grid.NodeID) ([]bool, error)
 }
 
 // Placement errors.
 var (
 	ErrHitsSource   = errors.New("adversary: placement would mark the source as bad")
 	ErrNotDivisible = errors.New("adversary: torus width must be a multiple of 2r+1 for this placement")
+	ErrNeedsTorus   = errors.New("adversary: placement is a toroidal construction and needs a torus topology")
 )
+
+// requireTorus unwraps the torus behind a Topology for the construction
+// placements, which are stated (and proved) on the toroidal grid.
+func requireTorus(t topo.Topology, name string) (*grid.Torus, error) {
+	tor, ok := t.(*grid.Torus)
+	if !ok {
+		return nil, fmt.Errorf("%w (placement %q on %v)", ErrNeedsTorus, name, t)
+	}
+	return tor, nil
+}
 
 // Validate checks that the placement respects the locally-bounded model:
 // no closed neighborhood contains more than t bad nodes, and the source is
 // good. It returns the observed maximum per-neighborhood count.
-func Validate(tor *grid.Torus, bad []bool, source grid.NodeID, t int) (int, error) {
+func Validate(tor topo.Topology, bad []bool, source grid.NodeID, t int) (int, error) {
 	if int(source) < len(bad) && bad[source] {
 		return 0, ErrHitsSource
 	}
-	maxC, err := tor.MaxWindowCount(bad)
+	maxC, err := topo.MaxWindowCount(tor, bad)
 	if err != nil {
 		return 0, err
 	}
@@ -67,7 +83,7 @@ type None struct{}
 func (None) Name() string { return "none" }
 
 // Place implements Placement.
-func (None) Place(t *grid.Torus, _ grid.NodeID) ([]bool, error) {
+func (None) Place(t topo.Topology, _ grid.NodeID) ([]bool, error) {
 	return make([]bool, t.Size()), nil
 }
 
@@ -96,7 +112,11 @@ type Stripe struct {
 func (s Stripe) Name() string { return fmt.Sprintf("stripe(y0=%d,t=%d,down=%v)", s.Y0, s.T, s.Down) }
 
 // Place implements Placement.
-func (s Stripe) Place(t *grid.Torus, source grid.NodeID) ([]bool, error) {
+func (s Stripe) Place(tp topo.Topology, source grid.NodeID) ([]bool, error) {
+	t, err := requireTorus(tp, s.Name())
+	if err != nil {
+		return nil, err
+	}
 	r := t.Range()
 	side := 2*r + 1
 	if t.Width()%side != 0 {
@@ -144,7 +164,11 @@ func (s Sandwich) Name() string {
 }
 
 // Place implements Placement.
-func (s Sandwich) Place(t *grid.Torus, source grid.NodeID) ([]bool, error) {
+func (s Sandwich) Place(tp topo.Topology, source grid.NodeID) ([]bool, error) {
+	t, err := requireTorus(tp, s.Name())
+	if err != nil {
+		return nil, err
+	}
 	if s.YHigh < s.YLow+3*t.Range() {
 		return nil, fmt.Errorf("adversary: sandwich stripes too close (%d < %d)", s.YHigh, s.YLow+3*t.Range())
 	}
@@ -186,7 +210,7 @@ func (u Union) Name() string {
 }
 
 // Place implements Placement.
-func (u Union) Place(t *grid.Torus, source grid.NodeID) ([]bool, error) {
+func (u Union) Place(t topo.Topology, source grid.NodeID) ([]bool, error) {
 	if len(u.Parts) == 0 {
 		return nil, errors.New("adversary: empty union placement")
 	}
@@ -221,7 +245,11 @@ type Lattice struct {
 func (l Lattice) Name() string { return fmt.Sprintf("lattice(t=%d)", len(l.Offsets)) }
 
 // Place implements Placement.
-func (l Lattice) Place(t *grid.Torus, source grid.NodeID) ([]bool, error) {
+func (l Lattice) Place(tp topo.Topology, source grid.NodeID) ([]bool, error) {
+	t, err := requireTorus(tp, l.Name())
+	if err != nil {
+		return nil, err
+	}
 	r := t.Range()
 	side := 2*r + 1
 	if t.Width()%side != 0 || t.Height()%side != 0 {
@@ -273,7 +301,7 @@ type Random struct {
 func (rp Random) Name() string { return fmt.Sprintf("random(t=%d,d=%.2f)", rp.T, rp.Density) }
 
 // Place implements Placement.
-func (rp Random) Place(t *grid.Torus, source grid.NodeID) ([]bool, error) {
+func (rp Random) Place(t topo.Topology, source grid.NodeID) ([]bool, error) {
 	if rp.T < 0 {
 		return nil, fmt.Errorf("adversary: random placement with negative t")
 	}

@@ -3,13 +3,14 @@ package adversary
 import (
 	"bftbcast/internal/grid"
 	"bftbcast/internal/radio"
+	"bftbcast/internal/topo"
 )
 
 // View is the adversary's (omniscient, worst-case) read access to the
 // simulation state. The engine implements it.
 type View interface {
-	// Torus returns the network geometry.
-	Torus() *grid.Torus
+	// Topo returns the network topology.
+	Topo() topo.Topology
 	// IsBad reports whether id is adversary-controlled.
 	IsBad(id grid.NodeID) bool
 	// IsDecided reports whether id has accepted a value.
@@ -101,7 +102,7 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 	if len(tentative) == 0 {
 		return nil
 	}
-	tor := v.Torus()
+	tor := v.Topo()
 	n := tor.Size()
 	if len(c.coveredEpoch) != n {
 		c.coveredEpoch = make([]int32, n)
@@ -192,7 +193,7 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 // exclude. Proximity to the transmitter maximizes how many of the
 // transmission's other receivers the jam also covers.
 func pickJammer(v View, u, from grid.NodeID, exclude map[grid.NodeID]bool) grid.NodeID {
-	tor := v.Torus()
+	tor := v.Topo()
 	jammer := grid.None
 	best := int(^uint(0) >> 1)
 	tor.ForEachNeighbor(u, func(nb grid.NodeID) {
@@ -212,7 +213,7 @@ func pickJammer(v View, u, from grid.NodeID, exclude map[grid.NodeID]bool) grid.
 // of u (the only ones that can deny deliveries to u).
 func badBudgetNear(v View, u grid.NodeID) int {
 	budget := 0
-	v.Torus().ForEachNeighbor(u, func(nb grid.NodeID) {
+	v.Topo().ForEachNeighbor(u, func(nb grid.NodeID) {
 		if v.IsBad(nb) {
 			budget += v.BadBudgetLeft(nb)
 		}
@@ -301,7 +302,7 @@ func (s *Spammer) Name() string { return "spammer" }
 func (s *Spammer) Jams(v View, _ int, _ []radio.Delivery) []radio.Tx {
 	if !s.primed {
 		s.primed = true
-		tor := v.Torus()
+		tor := v.Topo()
 		for i := 0; i < tor.Size(); i++ {
 			if v.IsBad(grid.NodeID(i)) {
 				s.badList = append(s.badList, grid.NodeID(i))

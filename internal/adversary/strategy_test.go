@@ -5,6 +5,7 @@ import (
 
 	"bftbcast/internal/grid"
 	"bftbcast/internal/radio"
+	"bftbcast/internal/topo"
 )
 
 // fakeView is a scriptable adversary.View for unit-testing strategies
@@ -19,7 +20,7 @@ type fakeView struct {
 	threshold int
 }
 
-func (v *fakeView) Torus() *grid.Torus               { return v.tor }
+func (v *fakeView) Topo() topo.Topology              { return v.tor }
 func (v *fakeView) IsBad(id grid.NodeID) bool        { return v.bad[id] }
 func (v *fakeView) IsDecided(id grid.NodeID) bool    { return v.decided[id] }
 func (v *fakeView) CorrectCount(id grid.NodeID) int  { return v.correct[id] }

@@ -26,6 +26,7 @@ import (
 
 	"bftbcast/internal/grid"
 	"bftbcast/internal/radio"
+	"bftbcast/internal/topo"
 )
 
 // MaxToleratedT returns the certified-propagation fault threshold
@@ -34,11 +35,11 @@ func MaxToleratedT(r int) int {
 	return (r*(2*r+1)+1)/2 - 1
 }
 
-// Protocol tracks acceptance state for every node of a torus. It is
+// Protocol tracks acceptance state for every node of a topology. It is
 // driven by Deliver calls from a transport (package reactive) and reports
 // newly decided nodes through the OnAccept callback.
 type Protocol struct {
-	tor       *grid.Torus
+	tor       topo.Topology
 	t         int
 	source    grid.NodeID
 	decided   []bool
@@ -49,11 +50,11 @@ type Protocol struct {
 	OnAccept func(id grid.NodeID, v radio.Value)
 }
 
-// New builds a Protocol for the torus with fault bound t and the given
-// source. The source is pre-decided on radio.ValueTrue.
-func New(tor *grid.Torus, t int, source grid.NodeID) (*Protocol, error) {
+// New builds a Protocol for the topology with fault bound t and the
+// given source. The source is pre-decided on radio.ValueTrue.
+func New(tor topo.Topology, t int, source grid.NodeID) (*Protocol, error) {
 	if tor == nil {
-		return nil, errors.New("bv: nil torus")
+		return nil, errors.New("bv: nil topology")
 	}
 	if t < 0 || t > MaxToleratedT(tor.Range()) {
 		return nil, fmt.Errorf("bv: t=%d outside [0, %d] for r=%d", t, MaxToleratedT(tor.Range()), tor.Range())
@@ -127,32 +128,35 @@ func (p *Protocol) Deliver(to, from grid.NodeID, v radio.Value) bool {
 	return false
 }
 
-// windowCertified reports whether some (2r+1)² window centred at a node
-// contains at least t+1 of the given relayers.
+// windowCertified reports whether the closed neighborhood ball of some
+// node contains at least t+1 of the given relayers.
 func (p *Protocol) windowCertified(relayers []grid.NodeID) bool {
 	if p.t == 0 {
 		return len(relayers) >= 1
 	}
 	r := p.tor.Range()
-	// All relayers lie within range r of the receiver, so candidate
-	// window centres lie within 2r of every relayer; scanning centres
-	// around the first relayer's position suffices.
-	cx, cy := p.tor.XY(relayers[0])
-	for dy := -2 * r; dy <= 2*r; dy++ {
-		for dx := -2 * r; dx <= 2*r; dx++ {
-			centre := p.tor.ID(cx+dx, cy+dy)
-			count := 0
-			for _, s := range relayers {
-				if p.tor.Dist(centre, s) <= r {
-					count++
-				}
-			}
-			if count >= p.t+1 {
-				return true
+	certifies := func(centre grid.NodeID) bool {
+		count := 0
+		for _, s := range relayers {
+			if p.tor.Dist(centre, s) <= r {
+				count++
 			}
 		}
+		return count >= p.t+1
 	}
-	return false
+	// All relayers lie within range r of the receiver, so candidate
+	// ball centres lie within 2r of every relayer; scanning centres
+	// around the first relayer suffices.
+	if certifies(relayers[0]) {
+		return true
+	}
+	found := false
+	p.tor.ForEachWithin(relayers[0], 2*r, func(centre grid.NodeID) {
+		if !found && certifies(centre) {
+			found = true
+		}
+	})
+	return found
 }
 
 // accept commits node id to v.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bftbcast/internal/grid"
+	"bftbcast/internal/topo"
 )
 
 // Spec is an executable description of a threshold broadcast protocol: how
@@ -120,7 +121,7 @@ func NewFullBudget(p Params, m int) (Spec, error) {
 // AverageBudget returns the mean of Budget over all nodes of t except the
 // source (the base station is unbounded). It is the metric Theorem 3
 // improves: Bheter's average approaches m0 while protocol B's is 2·m0.
-func (s Spec) AverageBudget(t *grid.Torus, source grid.NodeID) float64 {
+func (s Spec) AverageBudget(t topo.Topology, source grid.NodeID) float64 {
 	var sum float64
 	n := 0
 	for i := 0; i < t.Size(); i++ {

@@ -36,7 +36,7 @@ func runStripe(p core.Params, m int, attack bool) (bool, float64, error) {
 	}
 	sw := adversary.Sandwich{YLow: 7, YHigh: 13, T: p.T}
 	cfg := sim.Config{
-		Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
+		Topo: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
 		Placement: sw,
 	}
 	if attack {
@@ -75,24 +75,38 @@ func runE1(opts Options) (*Outcome, error) {
 	if opts.Quick {
 		ms = []int{m0 - 4, m0, 2 * m0}
 	}
-	for _, m := range ms {
-		completed, frac, err := runStripe(p, m, true)
+	// The budget points are independent runs; sweep them through the
+	// worker pool and render/assert sequentially afterwards.
+	type point struct {
+		completed, control bool
+		frac               float64
+	}
+	pts := make([]point, len(ms))
+	if err := ForEach(opts.Workers, len(ms), func(i int) error {
+		completed, frac, err := runStripe(p, ms[i], true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		control, _, err := runStripe(p, m, false)
+		control, _, err := runStripe(p, ms[i], false)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		pts[i] = point{completed: completed, control: control, frac: frac}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		pt := pts[i]
 		tbl.AddRow(metrics.Itoa(m), metrics.Ftoa(float64(m)/float64(m0), 2),
-			metrics.Btoa(completed), metrics.Ftoa(frac, 3), metrics.Btoa(control))
-		if !control {
+			metrics.Btoa(pt.completed), metrics.Ftoa(pt.frac, 3), metrics.Btoa(pt.control))
+		if !pt.control {
 			o.fail("control run without adversary stalled at m=%d", m)
 		}
 		switch {
-		case m <= m0-4 && completed:
+		case m <= m0-4 && pt.completed:
 			o.fail("broadcast completed at m=%d << m0=%d despite the construction", m, m0)
-		case m >= 2*m0 && !completed:
+		case m >= 2*m0 && !pt.completed:
 			o.fail("broadcast failed at m=2m0=%d, contradicting Theorem 2", m)
 		}
 	}
@@ -128,7 +142,7 @@ func runE2(Options) (*Outcome, error) {
 		return nil, err
 	}
 	res, err := sim.Run(sim.Config{
-		Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
+		Topo: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
 		Placement: adversary.Figure2Lattice(4),
 		Strategy:  adversary.NewTargeted(figure2Victims(tor)),
 	})
@@ -172,23 +186,29 @@ func runE3(opts Options) (*Outcome, error) {
 	if !opts.Quick {
 		cases = append(cases, core.Params{R: 3, T: 10, MF: 5}, core.Params{R: 4, T: 17, MF: 2})
 	}
-	for _, p := range cases {
+	type result struct {
+		bspec, kspec core.Spec
+		bOK, kOK     bool
+	}
+	results := make([]result, len(cases))
+	if err := ForEach(opts.Workers, len(cases), func(i int) error {
+		p := cases[i]
 		side := 2*p.R + 1
 		tor, err := grid.New(4*side, 4*side, p.R)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bspec, err := core.NewProtocolB(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		kspec, err := koo.NewBaseline(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run := func(spec core.Spec) (bool, error) {
 			res, err := sim.Run(sim.Config{
-				Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
+				Topo: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
 				Placement: adversary.Random{T: p.T, Density: 0.08, Seed: opts.Seed + 1},
 				Strategy:  adversary.NewCorruptor(),
 			})
@@ -202,12 +222,20 @@ func runE3(opts Options) (*Outcome, error) {
 		}
 		bOK, err := run(bspec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		kOK, err := run(kspec)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = result{bspec: bspec, kspec: kspec, bOK: bOK, kOK: kOK}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, p := range cases {
+		bspec, kspec := results[i].bspec, results[i].kspec
+		bOK, kOK := results[i].bOK, results[i].kOK
 		ratio := float64(kspec.Sends(0)) / float64(bspec.Sends(0))
 		tbl.AddRow(metrics.Itoa(p.R), metrics.Itoa(p.T), metrics.Itoa(p.MF),
 			metrics.Itoa(bspec.Sends(0)), metrics.Itoa(p.HomogeneousBudget()),
@@ -237,13 +265,18 @@ func runE4(opts Options) (*Outcome, error) {
 	if opts.Quick {
 		maxT = 6
 	}
+	completedAt := make([]bool, maxT+1)
+	if err := ForEach(opts.Workers, maxT, func(i int) error {
+		t := i + 1
+		completed, _, err := runStripe(core.Params{R: r, T: t, MF: mf}, m, true)
+		completedAt[t] = completed
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	firstFail := -1
 	for t := 1; t <= maxT; t++ {
-		p := core.Params{R: r, T: t, MF: mf}
-		completed, _, err := runStripe(p, m, true)
-		if err != nil {
-			return nil, err
-		}
+		completed := completedAt[t]
 		verdict := "uncertain region"
 		switch {
 		case t <= tol:
@@ -299,7 +332,7 @@ func runE5(opts Options) (*Outcome, error) {
 	}
 	for _, c := range []cfg{{"Bheter", heter}, {"B (homogeneous)", homog}} {
 		res, err := sim.Run(sim.Config{
-			Torus: tor, Params: p, Spec: c.spec, Source: src,
+			Topo: tor, Params: p, Spec: c.spec, Source: src,
 			Placement: adversary.Random{T: p.T, Density: 0.05, Seed: opts.Seed + 7},
 			Strategy:  adversary.NewCorruptor(),
 		})

@@ -256,7 +256,7 @@ func runE8(opts Options) (*Outcome, error) {
 	}
 	for _, c := range cases {
 		res, err := reactive.Run(reactive.Config{
-			Torus: tor, T: c.t, MF: c.mf, MMax: 64, PayloadBits: 16,
+			Topo: tor, T: c.t, MF: c.mf, MMax: 64, PayloadBits: 16,
 			Source:    tor.ID(0, 0),
 			Placement: adversary.Random{T: c.t, Density: 0.06, Seed: opts.Seed + 80},
 			Policy:    c.policy,
@@ -302,7 +302,7 @@ func runE9(Options) (*Outcome, error) {
 		return nil, err
 	}
 	res, err := sim.Run(sim.Config{
-		Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
+		Topo: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
 		Placement: adversary.Figure2Lattice(4),
 		Strategy:  adversary.NewTargeted(figure2Victims(tor)),
 	})
@@ -359,7 +359,7 @@ func runE10(opts Options) (*Outcome, error) {
 		"quiet window", "completed", "data rounds", "max msgs/node")
 	for _, qw := range []int{1, 4, 24, 48} {
 		res, err := reactive.Run(reactive.Config{
-			Torus: tor, T: 1, MF: 3, MMax: 64, PayloadBits: 16,
+			Topo: tor, T: 1, MF: 3, MMax: 64, PayloadBits: 16,
 			Source:      tor.ID(0, 0),
 			Placement:   adversary.Random{T: 1, Density: 0.06, Seed: opts.Seed + 100},
 			Policy:      reactive.PolicyNackSpam,

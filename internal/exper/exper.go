@@ -1,10 +1,12 @@
-// Package exper defines the experiment suite E1–E10 that regenerates the
+// Package exper defines the experiment suite E1–E11 that regenerates the
 // quantitative content of every theorem, corollary and figure of the
-// paper (see DESIGN.md §5 for the index and EXPERIMENTS.md for the
-// paper-vs-measured record). Each experiment produces human-readable
-// tables and a machine-checkable pass/fail verdict on the paper's claim
-// shape, so the suite doubles as an integration test and as the benchmark
-// harness behind bench_test.go and cmd/bftbench.
+// paper, plus the topology-generality comparison E11 (see DESIGN.md §5
+// for the index and EXPERIMENTS.md for the paper-vs-measured record).
+// Each experiment produces human-readable tables and a machine-checkable
+// pass/fail verdict on the paper's claim shape, so the suite doubles as
+// an integration test and as the benchmark harness behind bench_test.go
+// and cmd/bftbench. Independent sweep points run through a deterministic
+// worker pool (ForEach) sized by Options.Workers.
 package exper
 
 import (
@@ -21,6 +23,11 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomized pieces.
 	Seed uint64
+	// Workers bounds the worker pool used for independent sweep points
+	// (and for whole experiments in RunMany). Values <= 1 run
+	// sequentially. Every sweep point derives its own RNG seed from
+	// Seed, so results are identical for any worker count.
+	Workers int
 }
 
 // Outcome is an experiment's result.
@@ -43,30 +50,32 @@ func (o *Outcome) fail(format string, args ...any) {
 	o.note("FAIL: "+format, args...)
 }
 
-// WriteTo renders the outcome. It implements io.WriterTo.
+// WriteTo renders the outcome and returns the number of bytes written.
+// It implements io.WriterTo.
 func (o *Outcome) WriteTo(w io.Writer) (int64, error) {
+	cw := &metrics.CountingWriter{W: w}
 	status := "ok"
 	if !o.Passed {
 		status = "FAILED"
 	}
-	if _, err := fmt.Fprintf(w, "== %s: %s [%s]\n", o.ID, o.Title, status); err != nil {
-		return 0, err
+	if _, err := fmt.Fprintf(cw, "== %s: %s [%s]\n", o.ID, o.Title, status); err != nil {
+		return cw.N, err
 	}
 	for _, t := range o.Tables {
-		if _, err := fmt.Fprintln(w); err != nil {
-			return 0, err
+		if _, err := fmt.Fprintln(cw); err != nil {
+			return cw.N, err
 		}
-		if _, err := t.WriteTo(w); err != nil {
-			return 0, err
+		if _, err := t.WriteTo(cw); err != nil {
+			return cw.N, err
 		}
 	}
 	for _, n := range o.Notes {
-		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
-			return 0, err
+		if _, err := fmt.Fprintf(cw, "note: %s\n", n); err != nil {
+			return cw.N, err
 		}
 	}
-	_, err := fmt.Fprintln(w)
-	return 0, err
+	_, err := fmt.Fprintln(cw)
+	return cw.N, err
 }
 
 // Experiment is a runnable reproduction unit.

@@ -1,0 +1,87 @@
+package exper
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0), ..., fn(n-1) on a pool of the given number of
+// worker goroutines (<= 1 runs inline). Each index writes its outputs
+// into caller-owned slots, so results are deterministic regardless of
+// scheduling; the error reported is the one from the lowest failing
+// index, again independent of scheduling. All indices are attempted even
+// when one fails (runs are cheap and side-effect free).
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunMany executes the given experiments through the Options' worker
+// pool and returns their outcomes in input order, with errors wrapped
+// in the failing experiment's ID. The total worker budget is split
+// between the experiment level and each experiment's inner sweeps
+// (outer × inner ≈ Workers), so nesting does not oversubscribe the
+// CPUs. The first error (by input order) aborts the result; outcomes
+// of error-free experiments are still returned.
+func RunMany(es []Experiment, opts Options) ([]*Outcome, error) {
+	outer := opts.Workers
+	if outer > len(es) {
+		outer = len(es)
+	}
+	inner := opts.Workers
+	if outer > 1 {
+		inner = opts.Workers / outer
+		if inner < 1 {
+			inner = 1
+		}
+	}
+	childOpts := opts
+	childOpts.Workers = inner
+	outs := make([]*Outcome, len(es))
+	err := ForEach(outer, len(es), func(i int) error {
+		o, err := es[i].Run(childOpts)
+		outs[i] = o
+		if err != nil {
+			return fmt.Errorf("%s: %w", es[i].ID, err)
+		}
+		return nil
+	})
+	return outs, err
+}

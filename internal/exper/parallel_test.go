@@ -1,0 +1,116 @@
+package exper
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndices: every index runs exactly once at any
+// worker count.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 37
+		var hits [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachReportsLowestIndexError: the returned error is the one
+// from the lowest failing index, independent of scheduling.
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i == 5 || i == 13 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 5" {
+			t.Fatalf("workers=%d: err = %v, want boom 5", workers, err)
+		}
+	}
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+// TestRunManyDeterministicAcrossWorkerCounts: the quick suite renders
+// byte-identically on 1 worker and on a pool.
+func TestRunManyDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	es := All()
+	render := func(workers int) string {
+		outs, err := RunMany(es, Options{Quick: true, Seed: 42, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, o := range outs {
+			if _, err := o.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	if seq, par := render(1), render(8); seq != par {
+		t.Fatal("parallel harness output differs from sequential")
+	}
+}
+
+// TestRunManyWrapsErrorsAndSplitsWorkers: a failing experiment's error
+// names the experiment, earlier outcomes survive, and the worker budget
+// divides between the experiment level and inner sweeps.
+func TestRunManyWrapsErrorsAndSplitsWorkers(t *testing.T) {
+	var innerWorkers atomic.Int32
+	es := []Experiment{
+		{ID: "EOK", Title: "ok", Run: func(opts Options) (*Outcome, error) {
+			innerWorkers.Store(int32(opts.Workers))
+			return &Outcome{ID: "EOK", Passed: true}, nil
+		}},
+		{ID: "EBAD", Title: "bad", Run: func(Options) (*Outcome, error) {
+			return nil, errors.New("kaput")
+		}},
+	}
+	outs, err := RunMany(es, Options{Workers: 8})
+	if err == nil || err.Error() != "EBAD: kaput" {
+		t.Fatalf("err = %v, want EBAD: kaput", err)
+	}
+	if outs[0] == nil || !outs[0].Passed || outs[1] != nil {
+		t.Fatalf("outcomes = %v, want [ok, nil]", outs)
+	}
+	// 8 workers over 2 experiments: each experiment gets 8/2 = 4 for
+	// its inner sweeps, bounding total concurrency at ~8.
+	if got := innerWorkers.Load(); got != 4 {
+		t.Fatalf("inner Workers = %d, want 4", got)
+	}
+}
+
+// TestOutcomeWriteToByteCount: WriteTo must return the true byte count
+// (io.WriterTo contract).
+func TestOutcomeWriteToByteCount(t *testing.T) {
+	o := &Outcome{ID: "EX", Title: "demo", Passed: true}
+	o.note("hello")
+	var buf bytes.Buffer
+	n, err := o.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo returned %d bytes, buffer has %d", n, buf.Len())
+	}
+}

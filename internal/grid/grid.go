@@ -38,6 +38,10 @@ type offset struct{ dx, dy int8 }
 var (
 	ErrBadRange = errors.New("grid: range r must be >= 1")
 	ErrTooSmall = errors.New("grid: torus side must be at least 2r+1")
+	// ErrNotDivisible is returned by Coloring when a torus side is not a
+	// multiple of 2r+1, which would break the TDMA coloring across the
+	// wrap.
+	ErrNotDivisible = errors.New("grid: torus sides must be multiples of 2r+1")
 )
 
 // New validates the dimensions and returns a Torus. Each side must be at
@@ -101,6 +105,40 @@ func (t *Torus) NeighborhoodSize() int {
 // number of neighborhood nodes strictly on one side of an axis-aligned
 // line through the centre.
 func (t *Torus) HalfNeighborhood() int { return t.r * (2*t.r + 1) }
+
+// Degree returns the number of neighbors of id. On the torus every
+// neighborhood is full-sized, so this equals NeighborhoodSize for all
+// nodes (part of the topo.Topology contract).
+func (t *Torus) Degree(NodeID) int { return t.NeighborhoodSize() }
+
+// MaxDegree returns the largest degree over all nodes, (2r+1)²−1 on the
+// torus (part of the topo.Topology contract).
+func (t *Torus) MaxDegree() int { return t.NeighborhoodSize() }
+
+// Coloring returns the collision-free TDMA coloring of the torus: node
+// (x, y) owns color (x mod 2r+1) + (2r+1)·(y mod 2r+1) with period
+// (2r+1)². Two nodes of the same color are at least 2r+1 apart on each
+// axis, so their neighborhoods are disjoint and their simultaneous
+// transmissions cannot collide at any receiver. For the coloring to stay
+// valid across the wrap both sides must be multiples of 2r+1; otherwise
+// ErrNotDivisible is returned.
+func (t *Torus) Coloring() ([]int32, int, error) {
+	side := 2*t.r + 1
+	if t.w%side != 0 || t.h%side != 0 {
+		return nil, 0, fmt.Errorf("%w (torus %dx%d, 2r+1=%d)", ErrNotDivisible, t.w, t.h, side)
+	}
+	colors := make([]int32, t.Size())
+	for i := range colors {
+		x, y := t.XY(NodeID(i))
+		colors[i] = int32((x % side) + side*(y%side))
+	}
+	return colors, side * side, nil
+}
+
+// DiameterHint returns a generous upper bound on the hop diameter,
+// W+H+2, used to derive default slot caps (part of the topo.Topology
+// contract).
+func (t *Torus) DiameterHint() int { return t.w + t.h + 2 }
 
 // WrapX reduces an x coordinate into [0, W).
 func (t *Torus) WrapX(x int) int {

@@ -42,7 +42,7 @@ func TestBaselineCompletesUnderAttack(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := sim.Run(sim.Config{
-		Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
+		Topo: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
 		Placement: adversary.Random{T: 3, Density: 0.1, Seed: 3},
 		Strategy:  adversary.NewCorruptor(),
 	})

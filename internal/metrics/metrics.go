@@ -29,17 +29,32 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, row)
 }
 
-// WriteTo renders the table. It implements io.WriterTo.
+// CountingWriter wraps an io.Writer and counts the bytes written
+// through it. It lets WriteTo implementations that layer formatting
+// writers (tabwriter) on top of w report the true byte count required by
+// the io.WriterTo contract.
+type CountingWriter struct {
+	W io.Writer
+	N int64
+}
+
+// Write implements io.Writer.
+func (cw *CountingWriter) Write(p []byte) (int, error) {
+	n, err := cw.W.Write(p)
+	cw.N += int64(n)
+	return n, err
+}
+
+// WriteTo renders the table and returns the number of bytes written to
+// w. It implements io.WriterTo.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
-	var total int64
+	cw := &CountingWriter{W: w}
 	if t.Title != "" {
-		n, err := fmt.Fprintf(w, "%s\n", t.Title)
-		total += int64(n)
-		if err != nil {
-			return total, err
+		if _, err := fmt.Fprintf(cw, "%s\n", t.Title); err != nil {
+			return cw.N, err
 		}
 	}
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(cw, 2, 4, 2, ' ', 0)
 	writeRow := func(cells []string) error {
 		for i, c := range cells {
 			if i > 0 {
@@ -56,18 +71,18 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	}
 	if len(t.Header) > 0 {
 		if err := writeRow(t.Header); err != nil {
-			return total, err
+			return cw.N, err
 		}
 	}
 	for _, row := range t.Rows {
 		if err := writeRow(row); err != nil {
-			return total, err
+			return cw.N, err
 		}
 	}
 	if err := tw.Flush(); err != nil {
-		return total, err
+		return cw.N, err
 	}
-	return total, nil
+	return cw.N, nil
 }
 
 // Itoa formats an int (strconv shorthand for table cells).

@@ -71,3 +71,19 @@ func TestCounter(t *testing.T) {
 		t.Fatalf("Mean = %v", c.Mean())
 	}
 }
+
+// TestTableWriteToByteCount: WriteTo must return the true byte count
+// (io.WriterTo contract), including the tabwriter-rendered body.
+func TestTableWriteToByteCount(t *testing.T) {
+	tbl := NewTable("title", "a", "b")
+	tbl.AddRow("1", "22")
+	tbl.AddRow("333", "4")
+	var buf bytes.Buffer
+	n, err := tbl.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo returned %d bytes, buffer has %d", n, buf.Len())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"bftbcast/internal/grid"
+	"bftbcast/internal/topo"
 )
 
 // Value is a broadcast value. The model is value-oblivious: the protocols
@@ -53,11 +54,11 @@ type Delivery struct {
 	Collided bool // true when the receiver was inside a collision
 }
 
-// Medium resolves transmissions into deliveries on a fixed torus.
+// Medium resolves transmissions into deliveries on a fixed topology.
 // It keeps per-node scratch state, so a Medium is not safe for concurrent
 // use; create one per goroutine.
 type Medium struct {
-	t *grid.Torus
+	t topo.Topology
 
 	epoch    int32
 	mark     []int32       // epoch stamp per node
@@ -78,7 +79,7 @@ type Medium struct {
 }
 
 // NewMedium returns a Medium for t.
-func NewMedium(t *grid.Torus) *Medium {
+func NewMedium(t topo.Topology) *Medium {
 	n := t.Size()
 	return &Medium{
 		t:        t,

@@ -19,7 +19,7 @@ func TestForgePolicyWithTinyLEventuallyForges(t *testing.T) {
 	runs := 0
 	for seed := uint64(0); seed < 12; seed++ {
 		res, err := Run(Config{
-			Torus: tor, T: 1, MF: 30, MMax: 30, PayloadBits: 4,
+			Topo: tor, T: 1, MF: 30, MMax: 30, PayloadBits: 4,
 			Source:    tor.ID(0, 0),
 			Placement: adversary.Random{T: 1, Density: 0.08, Seed: seed},
 			Policy:    PolicyForge,
@@ -51,7 +51,7 @@ func TestForgeAccountingAtMinimalL(t *testing.T) {
 	// we instead hammer one bad node with a huge budget: every data round
 	// is a fresh cancel lottery with p = 1/(2^L - 1).
 	res, err := Run(Config{
-		Torus: tor, T: 1, MF: 500, MMax: 500, PayloadBits: 4,
+		Topo: tor, T: 1, MF: 500, MMax: 500, PayloadBits: 4,
 		Source:    tor.ID(0, 0),
 		Placement: adversary.Random{T: 1, Density: 0.04, Seed: 3},
 		Policy:    PolicyForge,

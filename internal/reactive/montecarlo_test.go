@@ -21,7 +21,7 @@ func TestMonteCarloReliability(t *testing.T) {
 	failures := 0
 	for seed := uint64(0); seed < runs; seed++ {
 		res, err := Run(Config{
-			Torus: tor, T: 2, MF: 3, MMax: 64, PayloadBits: 16,
+			Topo: tor, T: 2, MF: 3, MMax: 64, PayloadBits: 16,
 			Source:    tor.ID(0, 0),
 			Placement: adversary.Random{T: 2, Density: 0.07, Seed: seed},
 			Policy:    PolicyMixed,
@@ -54,7 +54,7 @@ func TestMonteCarloMessageBound(t *testing.T) {
 	for seed := uint64(0); seed < 10; seed++ {
 		for _, policy := range []AttackPolicy{PolicyDisrupt, PolicyNackSpam, PolicyMixed} {
 			cfg := Config{
-				Torus: tor, T: 1, MF: 4, MMax: 64, PayloadBits: 16,
+				Topo: tor, T: 1, MF: 4, MMax: 64, PayloadBits: 16,
 				Source:    tor.ID(0, 0),
 				Placement: adversary.Random{T: 1, Density: 0.06, Seed: seed},
 				Policy:    policy,

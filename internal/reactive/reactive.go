@@ -26,6 +26,7 @@ import (
 	"bftbcast/internal/grid"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/stats"
+	"bftbcast/internal/topo"
 )
 
 // AttackPolicy selects how bad nodes spend their (unknown to the
@@ -67,7 +68,8 @@ func (p AttackPolicy) String() string {
 
 // Config describes one Breactive run.
 type Config struct {
-	Torus *grid.Torus
+	// Topo is the network topology (grid.Torus, topo.Bounded, topo.RGG).
+	Topo topo.Topology
 	// T is the locally-bounded fault parameter; must satisfy
 	// t < ½r(2r+1) (the certified-propagation threshold).
 	T int
@@ -121,10 +123,10 @@ type Result struct {
 
 // Run executes Breactive to fixpoint.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Torus == nil {
-		return nil, errors.New("reactive: config needs a torus")
+	if cfg.Topo == nil {
+		return nil, errors.New("reactive: config needs a topology")
 	}
-	r := cfg.Torus.Range()
+	r := cfg.Topo.Range()
 	if cfg.T < 0 || cfg.T > bv.MaxToleratedT(r) {
 		return nil, fmt.Errorf("reactive: t=%d outside [0,%d] for r=%d", cfg.T, bv.MaxToleratedT(r), r)
 	}
@@ -137,7 +139,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.PayloadBits < 1 {
 		return nil, fmt.Errorf("reactive: payload bits %d", cfg.PayloadBits)
 	}
-	n := cfg.Torus.Size()
+	n := cfg.Topo.Size()
 	if int(cfg.Source) < 0 || int(cfg.Source) >= n {
 		return nil, fmt.Errorf("reactive: source %d out of range", cfg.Source)
 	}
@@ -155,15 +157,15 @@ func Run(cfg Config) (*Result, error) {
 	if placement == nil {
 		placement = adversary.None{}
 	}
-	bad, err := placement.Place(cfg.Torus, cfg.Source)
+	bad, err := placement.Place(cfg.Topo, cfg.Source)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := adversary.Validate(cfg.Torus, bad, cfg.Source, cfg.T); err != nil {
+	if _, err := adversary.Validate(cfg.Topo, bad, cfg.Source, cfg.T); err != nil {
 		return nil, err
 	}
 
-	proto, err := bv.New(cfg.Torus, cfg.T, cfg.Source)
+	proto, err := bv.New(cfg.Topo, cfg.T, cfg.Source)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +190,7 @@ func Run(cfg Config) (*Result, error) {
 		e.policy = PolicyDisrupt
 	}
 	if e.quiet <= 0 {
-		e.quiet = (2*r+1)*(2*r+1) - 1
+		e.quiet = cfg.Topo.MaxDegree()
 	}
 	e.budget = make([]radio.Budget, n)
 	for i := range e.budget {
@@ -252,7 +254,7 @@ func (e *engine) valueFor(p auedcode.BitString) radio.Value {
 // localBroadcast runs the reactive NACK loop for one sender.
 func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 	e.res.LocalBroadcasts++
-	tor := e.cfg.Torus
+	tor := e.cfg.Topo
 	payload := e.payloadFor(v)
 
 	maxRounds := e.cfg.MaxRoundsPerBroadcast
@@ -339,7 +341,7 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 // forge succeeded, and a one-element slice naming the attacker (nil when
 // none) for range checks.
 func (e *engine) attackRound(sender grid.NodeID, cw *auedcode.Codeword) (auedcode.BitString, bool, []grid.NodeID, error) {
-	tor := e.cfg.Torus
+	tor := e.cfg.Topo
 	attacker := grid.None
 	// The first in-range bad node with budget attacks. Attackers beyond
 	// radio range of the sender cannot hit the same receivers reliably;
@@ -413,7 +415,7 @@ func (e *engine) spamNack(sender grid.NodeID) bool {
 		return false
 	}
 	spammer := grid.None
-	e.cfg.Torus.ForEachNeighbor(sender, func(nb grid.NodeID) {
+	e.cfg.Topo.ForEachNeighbor(sender, func(nb grid.NodeID) {
 		if spammer == grid.None && e.bad[nb] && e.budget[nb].Left() != 0 {
 			spammer = nb
 		}
@@ -430,7 +432,7 @@ func (e *engine) spamNack(sender grid.NodeID) bool {
 
 func (e *engine) finish() *Result {
 	res := &e.res
-	for i := 0; i < e.cfg.Torus.Size(); i++ {
+	for i := 0; i < e.cfg.Topo.Size(); i++ {
 		id := grid.NodeID(i)
 		if e.bad[i] {
 			continue

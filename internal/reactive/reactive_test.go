@@ -9,7 +9,7 @@ import (
 
 func baseConfig(tor *grid.Torus) Config {
 	return Config{
-		Torus:       tor,
+		Topo:        tor,
 		T:           1,
 		MF:          3,
 		MMax:        64,
@@ -132,7 +132,7 @@ func TestConfigValidation(t *testing.T) {
 	good := baseConfig(tor)
 
 	cases := []func(*Config){
-		func(c *Config) { c.Torus = nil },
+		func(c *Config) { c.Topo = nil },
 		func(c *Config) { c.T = -1 },
 		func(c *Config) { c.T = 5 }, // above ceil(10/2)-1 = 4
 		func(c *Config) { c.MF = -1 },

@@ -3,51 +3,47 @@
 // schedule such that if all nodes follow the schedule then no collision
 // will occur".
 //
-// The schedule is a distance-(2r+1) coloring of the torus: node (x, y) owns
-// the slot class (x mod 2r+1) + (2r+1)·(y mod 2r+1), and time slot s
-// belongs to class s mod (2r+1)². Two nodes of the same class are at least
-// 2r+1 apart on each axis, so their neighborhoods are disjoint and their
-// simultaneous transmissions cannot collide at any receiver. For the
-// coloring to remain valid across the torus wrap, both torus sides must be
-// multiples of 2r+1; New enforces this.
+// The schedule is built from the topology's Coloring: a distance-2 (in
+// units of the radio range) coloring under which two same-colored nodes
+// share no receiver, so their simultaneous transmissions cannot collide.
+// On the torus the coloring is the lattice (x mod 2r+1) + (2r+1)·(y mod
+// 2r+1) with period (2r+1)², which requires both sides to be multiples
+// of 2r+1 to stay valid across the wrap; general topologies bring their
+// own coloring (e.g. the RGG's greedy distance-2 coloring).
 package sched
 
 import (
-	"errors"
 	"fmt"
 
 	"bftbcast/internal/grid"
+	"bftbcast/internal/topo"
 )
 
 // ErrNotDivisible is returned when a torus side is not a multiple of 2r+1,
 // which would break the coloring across the wrap.
-var ErrNotDivisible = errors.New("sched: torus sides must be multiples of 2r+1")
+var ErrNotDivisible = grid.ErrNotDivisible
 
-// TDMA is a collision-free slot schedule for one torus. Construct with
-// New; the zero value is unusable.
+// TDMA is a collision-free slot schedule for one topology. Construct
+// with New; the zero value is unusable.
 type TDMA struct {
 	period int
-	side   int
 	colors []int32 // color per node id
 }
 
-// New builds the schedule for t.
-func New(t *grid.Torus) (*TDMA, error) {
-	side := 2*t.Range() + 1
-	if t.Width()%side != 0 || t.Height()%side != 0 {
-		return nil, fmt.Errorf("%w (torus %dx%d, 2r+1=%d)", ErrNotDivisible, t.Width(), t.Height(), side)
+// New builds the schedule from t's coloring.
+func New(t topo.Topology) (*TDMA, error) {
+	colors, period, err := t.Coloring()
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
 	}
-	s := &TDMA{period: side * side, side: side}
-	s.colors = make([]int32, t.Size())
-	for i := range s.colors {
-		x, y := t.XY(grid.NodeID(i))
-		s.colors[i] = int32((x % side) + side*(y%side))
+	if period < 1 || len(colors) != t.Size() {
+		return nil, fmt.Errorf("sched: invalid coloring from %v (period %d, %d colors)", t, period, len(colors))
 	}
-	return s, nil
+	return &TDMA{period: period, colors: colors}, nil
 }
 
-// Period returns the schedule period (2r+1)²: every node owns exactly one
-// slot per period.
+// Period returns the schedule period: every node owns exactly one slot
+// class, and slot s belongs to class s mod Period.
 func (s *TDMA) Period() int { return s.period }
 
 // ColorOf returns the slot class owned by id.

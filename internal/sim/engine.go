@@ -1,7 +1,8 @@
 // Package sim is the deterministic discrete-event engine that executes a
-// threshold broadcast protocol (a core.Spec) on a torus against an
-// adversary, at time-slot granularity under the collision-free TDMA
-// schedule.
+// threshold broadcast protocol (a core.Spec) on a topology (the paper's
+// torus, a bounded grid, or a random geometric graph — see package topo)
+// against an adversary, at time-slot granularity under the
+// collision-free TDMA schedule.
 //
 // Each slot the engine: (1) emits the transmissions of the slot's color
 // class (every decided node with pending relays, plus the base station);
@@ -22,6 +23,7 @@ import (
 	"bftbcast/internal/grid"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/sched"
+	"bftbcast/internal/topo"
 )
 
 // maxTrackedValue bounds the distinct broadcast values the engine tracks
@@ -31,7 +33,8 @@ const maxTrackedValue = 7
 
 // Config describes one simulation run.
 type Config struct {
-	Torus  *grid.Torus
+	// Topo is the network topology (grid.Torus, topo.Bounded, topo.RGG).
+	Topo   topo.Topology
 	Params core.Params
 	Spec   core.Spec
 	// Source is the base station (defaults to node (0,0)).
@@ -83,7 +86,7 @@ type Result struct {
 // engine is the mutable run state.
 type engine struct {
 	cfg      Config
-	tor      *grid.Torus
+	tor      topo.Topology
 	schedule *sched.TDMA
 	medium   *radio.Medium
 
@@ -116,8 +119,8 @@ func Run(cfg Config) (*Result, error) {
 }
 
 func newEngine(cfg Config) (*engine, error) {
-	if cfg.Torus == nil {
-		return nil, errors.New("sim: config needs a torus")
+	if cfg.Topo == nil {
+		return nil, errors.New("sim: config needs a topology")
 	}
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
@@ -125,14 +128,14 @@ func newEngine(cfg Config) (*engine, error) {
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Params.R != cfg.Torus.Range() {
-		return nil, fmt.Errorf("sim: params r=%d but torus r=%d", cfg.Params.R, cfg.Torus.Range())
+	if cfg.Params.R != cfg.Topo.Range() {
+		return nil, fmt.Errorf("sim: params r=%d but topology r=%d", cfg.Params.R, cfg.Topo.Range())
 	}
-	schedule, err := sched.New(cfg.Torus)
+	schedule, err := sched.New(cfg.Topo)
 	if err != nil {
 		return nil, err
 	}
-	n := cfg.Torus.Size()
+	n := cfg.Topo.Size()
 	if int(cfg.Source) < 0 || int(cfg.Source) >= n {
 		return nil, fmt.Errorf("sim: source %d out of range", cfg.Source)
 	}
@@ -141,19 +144,19 @@ func newEngine(cfg Config) (*engine, error) {
 	if placement == nil {
 		placement = adversary.None{}
 	}
-	bad, err := placement.Place(cfg.Torus, cfg.Source)
+	bad, err := placement.Place(cfg.Topo, cfg.Source)
 	if err != nil {
 		return nil, fmt.Errorf("sim: placement %q: %w", placement.Name(), err)
 	}
-	if _, err := adversary.Validate(cfg.Torus, bad, cfg.Source, cfg.Params.T); err != nil {
+	if _, err := adversary.Validate(cfg.Topo, bad, cfg.Source, cfg.Params.T); err != nil {
 		return nil, err
 	}
 
 	e := &engine{
 		cfg:        cfg,
-		tor:        cfg.Torus,
+		tor:        cfg.Topo,
 		schedule:   schedule,
-		medium:     radio.NewMedium(cfg.Torus),
+		medium:     radio.NewMedium(cfg.Topo),
 		bad:        bad,
 		decided:    make([]bool, n),
 		decidedVal: make([]radio.Value, n),
@@ -218,7 +221,7 @@ func (e *engine) defaultMaxSlots() int {
 		}
 	}
 	period := e.schedule.Period()
-	hops := e.tor.Width() + e.tor.Height() + 2
+	hops := e.tor.DiameterHint()
 	return period * (e.cfg.Spec.SourceRepeats + hops*(maxSends+1) + 2*period)
 }
 
@@ -430,8 +433,8 @@ type engineView struct{ e *engine }
 
 var _ adversary.View = engineView{}
 
-// Torus implements adversary.View.
-func (v engineView) Torus() *grid.Torus { return v.e.tor }
+// Topo implements adversary.View.
+func (v engineView) Topo() topo.Topology { return v.e.tor }
 
 // IsBad implements adversary.View.
 func (v engineView) IsBad(id grid.NodeID) bool { return v.e.bad[id] }

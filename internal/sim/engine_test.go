@@ -54,7 +54,7 @@ func checkInvariants(t *testing.T, res *Result) {
 func TestProtocolBCompletesNoAdversary(t *testing.T) {
 	tor := grid.MustNew(20, 20, 2)
 	res := run(t, Config{
-		Torus:  tor,
+		Topo:   tor,
 		Params: miniParams,
 		Spec:   protocolB(t, miniParams),
 		Source: tor.ID(0, 0),
@@ -76,7 +76,7 @@ func TestProtocolBCompletesUnderSpam(t *testing.T) {
 	// corrupt nor (with m=2m0) prevent the broadcast.
 	tor := grid.MustNew(20, 20, 2)
 	res := run(t, Config{
-		Torus:     tor,
+		Topo:      tor,
 		Params:    miniParams,
 		Spec:      protocolB(t, miniParams),
 		Source:    tor.ID(0, 0),
@@ -95,7 +95,7 @@ func TestProtocolBCompletesUnderSpam(t *testing.T) {
 func TestProtocolBCompletesUnderCorruptor(t *testing.T) {
 	tor := grid.MustNew(20, 20, 2)
 	res := run(t, Config{
-		Torus:     tor,
+		Topo:      tor,
 		Params:    miniParams,
 		Spec:      protocolB(t, miniParams),
 		Source:    tor.ID(0, 0),
@@ -129,7 +129,7 @@ func TestTheorem1MiniSandwich(t *testing.T) {
 	sw := adversary.Sandwich{YLow: 7, YHigh: 13, T: p.T}
 	victims := sw.VictimBand(tor)
 	res := run(t, Config{
-		Torus:     tor,
+		Topo:      tor,
 		Params:    p,
 		Spec:      spec,
 		Source:    tor.ID(0, 0),
@@ -172,7 +172,7 @@ func TestTheorem1ControlCompletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := run(t, Config{
-		Torus:  tor,
+		Topo:   tor,
 		Params: miniParams,
 		Spec:   spec,
 		Source: tor.ID(0, 0),
@@ -189,7 +189,7 @@ func TestTheorem2MiniSandwich(t *testing.T) {
 	tor := grid.MustNew(20, 20, 2)
 	sw := adversary.Sandwich{YLow: 7, YHigh: 13, T: miniParams.T}
 	res := run(t, Config{
-		Torus:     tor,
+		Topo:      tor,
 		Params:    miniParams,
 		Spec:      protocolB(t, miniParams),
 		Source:    tor.ID(0, 0),
@@ -206,7 +206,7 @@ func TestTheorem2MiniSandwich(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	tor := grid.MustNew(20, 20, 2)
 	cfg := Config{
-		Torus:     tor,
+		Topo:      tor,
 		Params:    miniParams,
 		Spec:      protocolB(t, miniParams),
 		Source:    tor.ID(3, 3),
@@ -232,7 +232,7 @@ func TestAcceptCallback(t *testing.T) {
 	spec := protocolB(t, p)
 	accepts := 0
 	res := run(t, Config{
-		Torus:  tor,
+		Topo:   tor,
 		Params: p,
 		Spec:   spec,
 		Source: tor.ID(0, 0),
@@ -251,10 +251,10 @@ func TestAcceptCallback(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	tor := grid.MustNew(20, 20, 2)
-	good := Config{Torus: tor, Params: miniParams, Spec: protocolB(t, miniParams)}
+	good := Config{Topo: tor, Params: miniParams, Spec: protocolB(t, miniParams)}
 
 	bad := good
-	bad.Torus = nil
+	bad.Topo = nil
 	if _, err := Run(bad); err == nil {
 		t.Fatal("nil torus accepted")
 	}
@@ -284,7 +284,7 @@ func TestConfigValidation(t *testing.T) {
 	// Schedule requires divisible sides.
 	tor2 := grid.MustNew(21, 20, 2)
 	bad = good
-	bad.Torus = tor2
+	bad.Topo = tor2
 	if _, err := Run(bad); err == nil {
 		t.Fatal("non-divisible torus accepted")
 	}
@@ -294,7 +294,7 @@ func TestFaultFreeMinimalNetwork(t *testing.T) {
 	// t=0, mf=0: threshold 1, source repeats once, relays once.
 	tor := grid.MustNew(9, 9, 1)
 	p := core.Params{R: 1, T: 0, MF: 0}
-	res := run(t, Config{Torus: tor, Params: p, Spec: protocolB(t, p), Source: tor.ID(4, 4)})
+	res := run(t, Config{Topo: tor, Params: p, Spec: protocolB(t, p), Source: tor.ID(4, 4)})
 	checkInvariants(t, res)
 	if !res.Completed {
 		t.Fatal("minimal broadcast failed")
@@ -307,7 +307,7 @@ func TestFaultFreeMinimalNetwork(t *testing.T) {
 func TestResultAccounting(t *testing.T) {
 	tor := grid.MustNew(20, 20, 2)
 	res := run(t, Config{
-		Torus:  tor,
+		Topo:   tor,
 		Params: miniParams,
 		Spec:   protocolB(t, miniParams),
 		Source: tor.ID(0, 0),

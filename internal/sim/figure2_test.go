@@ -47,7 +47,7 @@ func TestFigure2Stall(t *testing.T) {
 	}
 	src := tor.ID(0, 0)
 	res := run(t, Config{
-		Torus: tor, Params: p, Spec: spec, Source: src,
+		Topo: tor, Params: p, Spec: spec, Source: src,
 		Placement: adversary.Figure2Lattice(4),
 		Strategy:  adversary.NewTargeted(figure2Victims(tor)),
 	})
@@ -103,7 +103,7 @@ func TestFigure2StallAtM0(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := run(t, Config{
-		Torus: tor, Params: figure2Params, Spec: spec, Source: tor.ID(0, 0),
+		Topo: tor, Params: figure2Params, Spec: spec, Source: tor.ID(0, 0),
 		Placement: adversary.Figure2Lattice(4),
 		Strategy:  adversary.NewTargeted(figure2Victims(tor)),
 	})
@@ -126,7 +126,7 @@ func TestFigure2ProtocolBCompletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := run(t, Config{
-		Torus: tor, Params: figure2Params, Spec: spec, Source: tor.ID(0, 0),
+		Topo: tor, Params: figure2Params, Spec: spec, Source: tor.ID(0, 0),
 		Placement: adversary.Figure2Lattice(4),
 		Strategy:  adversary.NewTargeted(figure2Victims(tor)),
 	})

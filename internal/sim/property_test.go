@@ -28,7 +28,7 @@ func TestRunInvariantsProperty(t *testing.T) {
 			return false
 		}
 		cfg := Config{
-			Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
+			Topo: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
 		}
 		if tt > 0 {
 			cfg.Placement = adversary.Random{T: tt, Density: float64(density%20+1) / 100, Seed: seed}
@@ -81,7 +81,7 @@ func (r *rogueStrategy) Jams(v adversary.View, slot int, tentative []radio.Deliv
 		return nil
 	}
 	r.fired = true
-	tor := v.Torus()
+	tor := v.Topo()
 	var bad, good grid.NodeID = grid.None, grid.None
 	for i := 0; i < tor.Size(); i++ {
 		if v.IsBad(grid.NodeID(i)) {
@@ -107,7 +107,7 @@ func TestEngineRejectsInvalidJams(t *testing.T) {
 	p := core.Params{R: 2, T: 2, MF: 5}
 	spec := protocolB(t, p)
 	res, err := Run(Config{
-		Torus: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
+		Topo: tor, Params: p, Spec: spec, Source: tor.ID(0, 0),
 		Placement: adversary.Random{T: 2, Density: 0.05, Seed: 9},
 		Strategy:  &rogueStrategy{},
 	})
@@ -129,7 +129,7 @@ func TestEngineRejectsInvalidJams(t *testing.T) {
 func TestTimedOutFlag(t *testing.T) {
 	tor := grid.MustNew(20, 20, 2)
 	res, err := Run(Config{
-		Torus: tor, Params: miniParams, Spec: protocolB(t, miniParams),
+		Topo: tor, Params: miniParams, Spec: protocolB(t, miniParams),
 		Source: tor.ID(0, 0), MaxSlots: 10,
 	})
 	if err != nil {

@@ -1,0 +1,251 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+
+	"bftbcast/internal/stats"
+)
+
+// maxRGGNodes caps the node count: the implementation precomputes
+// all-pairs hop distances (n² uint16), which stays small for the
+// simulation sizes this repository uses.
+const maxRGGNodes = 4096
+
+// RGG is an immutable random geometric graph: n nodes placed uniformly
+// at random in the unit square, with an edge between every pair at
+// Euclidean distance at most the connection radius. Adjacency is the
+// neighbor relation, the metric is hop distance and Range() is 1, so the
+// locally-bounded fault model reads "at most t bad nodes adjacent to any
+// node" — the general multi-hop-graph setting of the follow-up work on
+// Byzantine broadcast beyond the torus. Construct instances with NewRGG
+// or NewConnectedRGG; the zero value is unusable.
+type RGG struct {
+	n      int
+	radius float64
+	xs, ys []float64
+
+	adj    [][]NodeID // sorted ascending per node
+	dist   []uint16   // hop distance, n*n; unreachable = unreachableHop
+	maxDeg int
+	diam   int
+
+	colors []int32
+	period int
+}
+
+const unreachableHop = math.MaxUint16
+
+// NewRGG places n nodes from the seed and connects every pair within the
+// given Euclidean radius. The graph may be disconnected; use Connected
+// to check, or NewConnectedRGG to grow the radius until connected.
+func NewRGG(n int, radius float64, seed uint64) (*RGG, error) {
+	if n < 2 || n > maxRGGNodes {
+		return nil, fmt.Errorf("topo: rgg node count %d outside [2, %d]", n, maxRGGNodes)
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("topo: rgg radius %v must be positive", radius)
+	}
+	xs, ys := rggPoints(n, seed)
+	return newRGGFromPoints(xs, ys, radius)
+}
+
+// NewConnectedRGG places n nodes from the seed and grows the connection
+// radius from the standard connectivity threshold Θ(√(log n / n)) until
+// the graph is connected. The construction is deterministic in (n, seed).
+func NewConnectedRGG(n int, seed uint64) (*RGG, error) {
+	if n < 2 || n > maxRGGNodes {
+		return nil, fmt.Errorf("topo: rgg node count %d outside [2, %d]", n, maxRGGNodes)
+	}
+	xs, ys := rggPoints(n, seed)
+	radius := 1.1 * math.Sqrt(math.Log(float64(n))/(math.Pi*float64(n)))
+	for {
+		g, err := newRGGFromPoints(xs, ys, radius)
+		if err != nil {
+			return nil, err
+		}
+		if g.Connected() {
+			return g, nil
+		}
+		radius *= 1.25
+		if radius > 2 { // complete graph on the unit square; cannot happen
+			return nil, fmt.Errorf("topo: rgg with n=%d seed=%d never became connected", n, seed)
+		}
+	}
+}
+
+// rggPoints draws the node positions; a fixed (n, seed) pair always
+// yields the same layout regardless of the radius.
+func rggPoints(n int, seed uint64) (xs, ys []float64) {
+	rng := stats.NewRNG(seed)
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	return xs, ys
+}
+
+func newRGGFromPoints(xs, ys []float64, radius float64) (*RGG, error) {
+	n := len(xs)
+	g := &RGG{n: n, radius: radius, xs: xs, ys: ys}
+
+	g.adj = make([][]NodeID, n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx*dx+dy*dy <= r2 {
+				g.adj[i] = append(g.adj[i], NodeID(j))
+				g.adj[j] = append(g.adj[j], NodeID(i))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d := len(g.adj[i]); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+
+	g.computeDistances()
+	g.computeColoring()
+	return g, nil
+}
+
+// computeDistances runs one BFS per node to fill the all-pairs hop
+// distance table and the diameter.
+func (g *RGG) computeDistances() {
+	n := g.n
+	g.dist = make([]uint16, n*n)
+	queue := make([]NodeID, 0, n)
+	for src := 0; src < n; src++ {
+		row := g.dist[src*n : (src+1)*n]
+		for i := range row {
+			row[i] = unreachableHop
+		}
+		row[src] = 0
+		queue = append(queue[:0], NodeID(src))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			du := row[u]
+			for _, v := range g.adj[u] {
+				if row[v] == unreachableHop {
+					row[v] = du + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, d := range row {
+			if d != unreachableHop && int(d) > g.diam {
+				g.diam = int(d)
+			}
+		}
+	}
+}
+
+// computeColoring greedily assigns each node (in id order) the smallest
+// color not used within hop distance 2. Two same-colored nodes are
+// therefore at hop distance >= 3 and share no receiver, which makes the
+// schedule collision-free.
+func (g *RGG) computeColoring() {
+	n := g.n
+	g.colors = make([]int32, n)
+	for i := range g.colors {
+		g.colors[i] = -1
+	}
+	used := make(map[int32]bool, g.maxDeg*g.maxDeg)
+	for i := 0; i < n; i++ {
+		clear(used)
+		for _, v := range g.adj[i] {
+			if c := g.colors[v]; c >= 0 {
+				used[c] = true
+			}
+			for _, w := range g.adj[v] {
+				if c := g.colors[w]; c >= 0 {
+					used[c] = true
+				}
+			}
+		}
+		var c int32
+		for used[c] {
+			c++
+		}
+		g.colors[i] = c
+		if int(c)+1 > g.period {
+			g.period = int(c) + 1
+		}
+	}
+}
+
+// Connected reports whether every node is reachable from node 0.
+func (g *RGG) Connected() bool {
+	for _, d := range g.dist[:g.n] {
+		if d == unreachableHop {
+			return false
+		}
+	}
+	return true
+}
+
+// Radius returns the Euclidean connection radius.
+func (g *RGG) Radius() float64 { return g.radius }
+
+// Position returns the coordinates of id in the unit square.
+func (g *RGG) Position(id NodeID) (x, y float64) { return g.xs[id], g.ys[id] }
+
+// Size returns the number of nodes.
+func (g *RGG) Size() int { return g.n }
+
+// Range returns 1: adjacency is the neighbor relation.
+func (g *RGG) Range() int { return 1 }
+
+// Degree returns the number of neighbors of id.
+func (g *RGG) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// MaxDegree returns the largest degree over all nodes.
+func (g *RGG) MaxDegree() int { return g.maxDeg }
+
+// ForEachNeighbor calls fn for every neighbor of id, ascending.
+func (g *RGG) ForEachNeighbor(id NodeID, fn func(NodeID)) {
+	for _, v := range g.adj[id] {
+		fn(v)
+	}
+}
+
+// AppendNeighbors appends the neighbors of id to dst and returns it.
+func (g *RGG) AppendNeighbors(dst []NodeID, id NodeID) []NodeID {
+	return append(dst, g.adj[id]...)
+}
+
+// Dist returns the hop distance between two nodes; unreachable pairs
+// report a distance larger than any diameter.
+func (g *RGG) Dist(a, b NodeID) int { return int(g.dist[int(a)*g.n+int(b)]) }
+
+// ForEachWithin calls fn for every node within hop distance d of id,
+// excluding id itself, ascending.
+func (g *RGG) ForEachWithin(id NodeID, d int, fn func(NodeID)) {
+	row := g.dist[int(id)*g.n : (int(id)+1)*g.n]
+	for i, hops := range row {
+		if NodeID(i) != id && int(hops) <= d {
+			fn(NodeID(i))
+		}
+	}
+}
+
+// Coloring returns the greedy distance-2 coloring computed at
+// construction.
+func (g *RGG) Coloring() ([]int32, int, error) {
+	colors := make([]int32, g.n)
+	copy(colors, g.colors)
+	return colors, g.period, nil
+}
+
+// DiameterHint returns the exact hop diameter plus slack.
+func (g *RGG) DiameterHint() int { return g.diam + 2 }
+
+// String implements fmt.Stringer.
+func (g *RGG) String() string {
+	return fmt.Sprintf("rgg n=%d radius=%.3f", g.n, g.radius)
+}
