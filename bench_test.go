@@ -18,6 +18,8 @@ import (
 	"bftbcast"
 	"bftbcast/internal/auedcode"
 	"bftbcast/internal/exper"
+	"bftbcast/internal/sim"
+	"bftbcast/internal/sim/ref"
 	"bftbcast/internal/stats"
 )
 
@@ -84,13 +86,16 @@ func BenchmarkE10Ablations(b *testing.B) { benchExperiment(b, "E10") }
 // vs bounded grid vs random geometric graph).
 func BenchmarkE11Topologies(b *testing.B) { benchExperiment(b, "E11") }
 
-// --- Harness parallelism guardrail ---
+// --- Engine speedup and harness parallelism guardrails ---
 
 // benchSweep45 runs an 8-point sweep of protocol B on a 45×45 torus
 // (r=4, random adversary, one seed per point) through the experiment
-// harness's worker pool. The sequential and parallel variants execute
-// identical work, so their ratio is the harness speedup.
-func benchSweep45(b *testing.B, workers int) {
+// harness's worker pool, with a pluggable engine entry point. The
+// variants execute identical work, so their time ratios measure the
+// harness speedup (sequential vs parallel) and the engine speedup
+// (sparse fast path vs the dense sim/ref baseline; tracked across PRs
+// in BENCH_sim.json via cmd/benchjson).
+func benchSweep45(b *testing.B, workers int, run func(bftbcast.SimConfig) (*bftbcast.SimResult, error)) {
 	b.Helper()
 	tor, err := bftbcast.NewTorus(45, 45, 4)
 	if err != nil {
@@ -105,7 +110,7 @@ func benchSweep45(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := exper.ForEach(workers, points, func(j int) error {
-			res, err := bftbcast.RunSim(bftbcast.SimConfig{
+			res, err := run(bftbcast.SimConfig{
 				Topo: tor, Params: params, Spec: spec,
 				Placement: bftbcast.RandomPlacement{T: 2, Density: 0.05, Seed: uint64(j + 1)},
 				Strategy:  bftbcast.NewCorruptor(),
@@ -123,11 +128,24 @@ func benchSweep45(b *testing.B, workers int) {
 	}
 }
 
-// BenchmarkSweep45Sequential is the 45×45 sweep on one worker.
-func BenchmarkSweep45Sequential(b *testing.B) { benchSweep45(b, 1) }
+// BenchmarkSweep45Sequential is the 45×45 sweep on one worker through
+// the sparse fast engine (the production path).
+func BenchmarkSweep45Sequential(b *testing.B) { benchSweep45(b, 1, bftbcast.RunSim) }
 
 // BenchmarkSweep45Parallel is the same sweep on runtime.NumCPU() workers.
-func BenchmarkSweep45Parallel(b *testing.B) { benchSweep45(b, runtime.NumCPU()) }
+func BenchmarkSweep45Parallel(b *testing.B) { benchSweep45(b, runtime.NumCPU(), bftbcast.RunSim) }
+
+// BenchmarkSweep45DenseRef is the same sweep through the dense reference
+// engine (internal/sim/ref): the frozen pre-optimization baseline the
+// fast path's single-core speedup is measured against.
+func BenchmarkSweep45DenseRef(b *testing.B) { benchSweep45(b, 1, ref.Run) }
+
+// BenchmarkSweep45Runner is the sweep on one worker with one explicitly
+// reused sim.Runner, the allocation-free steady state of the fast path.
+func BenchmarkSweep45Runner(b *testing.B) {
+	r := sim.NewRunner()
+	benchSweep45(b, 1, r.Run)
+}
 
 // --- Micro-benchmarks of the core primitives ---
 

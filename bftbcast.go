@@ -49,6 +49,7 @@ import (
 	"bftbcast/internal/radio"
 	"bftbcast/internal/reactive"
 	"bftbcast/internal/sim"
+	"bftbcast/internal/sim/ref"
 	"bftbcast/internal/topo"
 )
 
@@ -94,6 +95,9 @@ type (
 	SimConfig = sim.Config
 	// SimResult is its outcome.
 	SimResult = sim.Result
+	// SimRunner is a reusable simulation engine: state is allocated once
+	// and reset-and-reused across runs (see NewSimRunner).
+	SimRunner = sim.Runner
 	// ActorConfig configures the concurrent (goroutine-per-node) run.
 	ActorConfig = actor.Config
 	// ActorResult is its outcome.
@@ -191,8 +195,20 @@ func NewTargeted(victims []bool) Strategy { return adversary.NewTargeted(victims
 // NewSpammer returns the wrong-value spammer (correctness stress).
 func NewSpammer() Strategy { return adversary.NewSpammer() }
 
-// RunSim executes a slot-level simulation (see SimConfig).
+// RunSim executes a slot-level simulation (see SimConfig) through the
+// sparse fast engine, drawing a reusable runner from an internal pool.
 func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// RunSimRef executes the same simulation through the dense reference
+// engine (internal/sim/ref): slower, deliberately simple, and verified
+// bit-identical to RunSim by the differential-testing oracle. Useful for
+// cross-checking when debugging engine behavior (bftsim -engine ref).
+func RunSimRef(cfg SimConfig) (*SimResult, error) { return ref.Run(cfg) }
+
+// NewSimRunner returns a dedicated reusable simulation engine for tight
+// sweep loops where even pooled-runner handoff matters; most callers can
+// just use RunSim.
+func NewSimRunner() *SimRunner { return sim.NewRunner() }
 
 // RunActor executes the fault-free concurrent runtime (see ActorConfig).
 func RunActor(cfg ActorConfig) (*ActorResult, error) { return actor.Run(cfg) }

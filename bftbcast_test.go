@@ -116,3 +116,39 @@ func TestFacadeBheterAndBaseline(t *testing.T) {
 		t.Fatal("Span area")
 	}
 }
+
+func TestFacadeEngines(t *testing.T) {
+	tor, err := bftbcast.NewTorus(20, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bftbcast.SimConfig{
+		Topo: tor, Params: params, Spec: spec,
+		Placement: bftbcast.RandomPlacement{T: 2, Density: 0.06, Seed: 4},
+	}
+
+	fast, err := bftbcast.RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := bftbcast.RunSimRef(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := bftbcast.NewSimRunner()
+	reused, err := runner.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*bftbcast.SimResult{dense, reused} {
+		if res.Completed != fast.Completed || res.Slots != fast.Slots ||
+			res.GoodMessages != fast.GoodMessages {
+			t.Fatalf("engines disagree: fast=%+v other=%+v", fast, res)
+		}
+	}
+}

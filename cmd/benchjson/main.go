@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench` output into a compact
+// machine-readable JSON document, used by scripts/bench_sim.sh and the
+// CI bench job to track the simulation engines' performance trajectory
+// (BENCH_sim.json: ns/op for the dense reference engine vs the sparse
+// fast path) across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkSweep45' -benchmem . | benchjson > BENCH_sim.json
+//
+// When both BenchmarkSweep45Sequential and BenchmarkSweep45DenseRef are
+// present, the document includes their ratio as "dense_over_sparse" —
+// the fast engine's single-core speedup over the frozen baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	CPU        string             `json:"cpu,omitempty"`
+	GoOS       string             `json:"goos,omitempty"`
+	GoArch     string             `json:"goarch,omitempty"`
+	Benchmarks []Entry            `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in *os.File, out *os.File) error {
+	doc := Doc{Speedups: map[string]float64{}}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	if dense, sparse := find(doc.Benchmarks, "BenchmarkSweep45DenseRef"), find(doc.Benchmarks, "BenchmarkSweep45Sequential"); dense != nil && sparse != nil && sparse.NsPerOp > 0 {
+		doc.Speedups["dense_over_sparse"] = round2(dense.NsPerOp / sparse.NsPerOp)
+	}
+	if len(doc.Speedups) == 0 {
+		doc.Speedups = nil
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// parseLine parses "BenchmarkX-8  10  123 ns/op  456 B/op  7 allocs/op".
+func parseLine(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Entry{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the GOMAXPROCS suffix so entries compare across machines.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err1 := strconv.ParseInt(f[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		}
+	}
+	return e, true
+}
+
+func find(es []Entry, name string) *Entry {
+	for i := range es {
+		if es[i].Name == name {
+			return &es[i]
+		}
+	}
+	return nil
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

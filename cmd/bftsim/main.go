@@ -44,6 +44,7 @@ func run() error {
 		mmax      = flag.Int("mmax", 64, "loose budget bound known to the reactive protocol")
 		k         = flag.Int("k", 16, "payload bits for the reactive protocol")
 		traceFlag = flag.Bool("trace", false, "emit acceptance events as JSON lines")
+		engine    = flag.String("engine", "fast", "simulation engine: fast (sparse) | ref (dense reference, for cross-checks)")
 	)
 	flag.Parse()
 
@@ -124,12 +125,20 @@ func run() error {
 		}
 	}
 
-	res, err := bftbcast.RunSim(cfg)
+	runSim := bftbcast.RunSim
+	switch *engine {
+	case "fast":
+	case "ref":
+		runSim = bftbcast.RunSimRef
+	default:
+		return fmt.Errorf("unknown engine %q (want fast or ref)", *engine)
+	}
+	res, err := runSim(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol=%s adversary=%s topology=%q t=%d mf=%d\n",
-		spec.Name, *adv, tp, params.T, params.MF)
+	fmt.Printf("protocol=%s adversary=%s topology=%q t=%d mf=%d engine=%s\n",
+		spec.Name, *adv, tp, params.T, params.MF, *engine)
 	fmt.Printf("completed=%v stalled=%v timedOut=%v slots=%d\n",
 		res.Completed, res.Stalled, res.TimedOut, res.Slots)
 	fmt.Printf("decided=%d/%d wrongDecisions=%d\n", res.DecidedGood, res.TotalGood, res.WrongDecisions)

@@ -6,6 +6,7 @@ import (
 	"bftbcast/internal/core"
 	"bftbcast/internal/grid"
 	"bftbcast/internal/sim"
+	"bftbcast/internal/sim/simtest"
 )
 
 func TestConcurrentBroadcastCompletes(t *testing.T) {
@@ -99,5 +100,49 @@ func TestTimeoutReported(t *testing.T) {
 	}
 	if res.Completed {
 		t.Fatal("3-slot run cannot complete")
+	}
+}
+
+// TestRandomizedEquivalence extends the hand-picked equivalence cases
+// above to the fuzzed fault-free matrix of internal/sim/simtest: on
+// every generated topology (torus, bounded grid, RGG), spec and source,
+// the concurrent runtime must reproduce the sequential engine's outcome
+// exactly — decisions, per-node send counts and slot count. It runs
+// under -race in CI, so it doubles as the race check for the actor
+// runtime's channel protocol.
+func TestRandomizedEquivalence(t *testing.T) {
+	cases := 30
+	if testing.Short() {
+		cases = 10
+	}
+	gen, err := simtest.NewGen(0xAC708)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cases; i++ {
+		c := gen.NextFaultFree()
+		cfg := c.Build()
+		seq, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("case %d (%s): sim: %v", i, c.Desc, err)
+		}
+		conc, err := Run(Config{
+			Topo: cfg.Topo, Params: cfg.Params, Spec: cfg.Spec,
+			Source: cfg.Source, MaxSlots: cfg.MaxSlots,
+		})
+		if err != nil {
+			t.Fatalf("case %d (%s): actor: %v", i, c.Desc, err)
+		}
+		if conc.Completed != seq.Completed || conc.DecidedGood != seq.DecidedGood ||
+			conc.TotalGood != seq.TotalGood || conc.Slots != seq.Slots {
+			t.Fatalf("case %d (%s): actor %+v disagrees with sim (completed=%v decided=%d/%d slots=%d)",
+				i, c.Desc, conc, seq.Completed, seq.DecidedGood, seq.TotalGood, seq.Slots)
+		}
+		for n := range conc.Sent {
+			if conc.Sent[n] != seq.Sent[n] {
+				t.Fatalf("case %d (%s): node %d sent %d (actor) vs %d (sim)",
+					i, c.Desc, n, conc.Sent[n], seq.Sent[n])
+			}
+		}
 	}
 }

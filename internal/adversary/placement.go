@@ -317,6 +317,7 @@ func (rp Random) Place(t topo.Topology, source grid.NodeID) ([]bool, error) {
 	counts := make([]int32, t.Size())
 	target := int(rp.Density * float64(t.Size()))
 	placed := 0
+	var nbrs []grid.NodeID // scratch: closure-free neighbor walks
 	for _, idx := range rng.Perm(t.Size()) {
 		if placed >= target {
 			break
@@ -325,20 +326,25 @@ func (rp Random) Place(t topo.Topology, source grid.NodeID) ([]bool, error) {
 		if id == source {
 			continue
 		}
-		ok := counts[id] < int32(rp.T)
-		if ok {
-			t.ForEachNeighbor(id, func(nb grid.NodeID) {
-				if counts[nb] >= int32(rp.T) {
-					ok = false
-				}
-			})
+		if counts[id] >= int32(rp.T) {
+			continue
+		}
+		nbrs = t.AppendNeighbors(nbrs[:0], id)
+		ok := true
+		for _, nb := range nbrs {
+			if counts[nb] >= int32(rp.T) {
+				ok = false
+				break
+			}
 		}
 		if !ok {
 			continue
 		}
 		bad[id] = true
 		counts[id]++
-		t.ForEachNeighbor(id, func(nb grid.NodeID) { counts[nb]++ })
+		for _, nb := range nbrs {
+			counts[nb]++
+		}
 		placed++
 	}
 	return bad, nil

@@ -36,11 +36,27 @@ type View interface {
 // Each returned Tx must originate at a distinct bad node with remaining
 // budget; the engine deducts one budget unit per jam and rejects invalid
 // ones (counting them in the run result, where tests assert zero).
+//
+// Strategy values are single-run objects: implementations cache per-run
+// facts between slots (the corruptor's bad-neighbor lists, the
+// spammer's bad list), so construct a fresh Strategy for every run.
 type Strategy interface {
 	// Name identifies the strategy in reports.
 	Name() string
 	// Jams picks this slot's adversarial transmissions.
 	Jams(v View, slot int, tentative []radio.Delivery) []radio.Tx
+}
+
+// DeliveryDriven is an optional Strategy refinement: a strategy whose
+// DeliveryDriven method returns true promises to never transmit in a slot
+// whose tentative deliveries are empty. The fast simulation engine uses
+// the promise to skip idle slots wholesale (the slot counter still
+// advances, so results are unchanged); strategies that jam spontaneously
+// (e.g. Spammer) must not implement it, or must return false.
+type DeliveryDriven interface {
+	// DeliveryDriven reports whether Jams is guaranteed to return nil
+	// whenever the tentative delivery list is empty.
+	DeliveryDriven() bool
 }
 
 // Idle is the strategy that never transmits (placement-only runs).
@@ -51,6 +67,9 @@ func (Idle) Name() string { return "idle" }
 
 // Jams implements Strategy.
 func (Idle) Jams(View, int, []radio.Delivery) []radio.Tx { return nil }
+
+// DeliveryDriven implements DeliveryDriven: Idle never transmits at all.
+func (Idle) DeliveryDriven() bool { return true }
 
 // corruptorCore is the shared denial engine behind Corruptor and
 // Targeted. It implements the paper's accounting: a bad node collides
@@ -89,6 +108,16 @@ type corruptorCore struct {
 	coveredEpoch []int32
 	epoch        int32
 	entries      []denyEntry
+	used         []grid.NodeID // jammers spent this slot (scratch)
+	nbrScratch   []grid.NodeID // neighbor walks (scratch)
+
+	// badNbr caches, per queried victim, its bad neighbors (a handful of
+	// ids out of a full neighborhood walk). Bad-set membership is fixed
+	// for a whole run and strategies are single-run objects (Spammer
+	// leans on the same convention), so the cache never invalidates;
+	// budgets are re-read live. Spans index badNbrArena.
+	badNbrSpan  [][2]int32
+	badNbrArena []grid.NodeID
 }
 
 type denyEntry struct {
@@ -96,6 +125,7 @@ type denyEntry struct {
 	from   grid.NodeID
 	jammer grid.NodeID
 	must   bool
+	shared bool // two or more needy victims share (jammer, from)
 }
 
 func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
@@ -108,6 +138,7 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 		c.coveredEpoch = make([]int32, n)
 		c.epoch = 0
 	}
+	c.ensureCache(n)
 	c.epoch++
 	threshold := v.Threshold()
 
@@ -130,10 +161,10 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 		if !must && !needy {
 			continue
 		}
-		if c.checkFeasible && v.Supply(u)+1 > badBudgetNear(v, u) {
+		if c.checkFeasible && v.Supply(u)+1 > c.badBudgetNear(v, u) {
 			continue // blocking u is hopeless; do not waste budget
 		}
-		jammer := pickJammer(v, u, d.From, nil)
+		jammer := c.pickJammer(v, u, d.From, nil)
 		if jammer == grid.None {
 			continue
 		}
@@ -143,13 +174,20 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 		return nil
 	}
 
-	// Pass 2: count, per (jammer, transmitter), how many needy victims
-	// the jam would deny at once; only true same-transmission sharing
-	// justifies a preemptive jam.
-	type shareKey struct{ jammer, from grid.NodeID }
-	shared := make(map[shareKey]int, len(c.entries))
-	for _, e := range c.entries {
-		shared[shareKey{e.jammer, e.from}]++
+	// Pass 2: mark, per (jammer, transmitter), whether two or more needy
+	// victims would be denied at once; only true same-transmission
+	// sharing justifies a preemptive jam. The entry list is tiny (a few
+	// victims per slot), so a quadratic scan beats allocating a map.
+	for i := range c.entries {
+		if c.entries[i].shared {
+			continue
+		}
+		for j := i + 1; j < len(c.entries); j++ {
+			if c.entries[i].jammer == c.entries[j].jammer && c.entries[i].from == c.entries[j].from {
+				c.entries[i].shared = true
+				c.entries[j].shared = true
+			}
+		}
 	}
 
 	// Pass 3: emit jams. A jam is worth its budget when it is a
@@ -159,65 +197,111 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 		wrong = radio.ValueFalse
 	}
 	var jams []radio.Tx
-	var used map[grid.NodeID]bool
+	c.used = c.used[:0]
 	for _, e := range c.entries {
 		if c.coveredEpoch[e.u] == c.epoch {
 			continue // already denied by a jam chosen this slot
 		}
-		if !e.must && shared[shareKey{e.jammer, e.from}] < 2 {
+		if !e.must && !e.shared {
 			continue // lone needy victim: defer to its crossing slot
 		}
 		jammer := e.jammer
-		if used[jammer] || v.BadBudgetLeft(jammer) <= 0 {
-			jammer = pickJammer(v, e.u, e.from, used)
+		if c.isUsed(jammer) || v.BadBudgetLeft(jammer) <= 0 {
+			jammer = c.pickJammer(v, e.u, e.from, c.used)
 			if jammer == grid.None {
 				continue
 			}
 		}
-		if used == nil {
-			used = make(map[grid.NodeID]bool, 4)
-		}
-		used[jammer] = true
+		c.used = append(c.used, jammer)
 		jams = append(jams, radio.Tx{From: jammer, Value: wrong, Jam: true, Drop: c.drop})
 		// Everything within range of the jammer is corrupted this slot.
 		c.coveredEpoch[jammer] = c.epoch
-		tor.ForEachNeighbor(jammer, func(nb grid.NodeID) {
+		c.nbrScratch = tor.AppendNeighbors(c.nbrScratch[:0], jammer)
+		for _, nb := range c.nbrScratch {
 			c.coveredEpoch[nb] = c.epoch
-		})
+		}
 	}
 	return jams
+}
+
+// isUsed reports whether id already jammed this slot.
+func (c *corruptorCore) isUsed(id grid.NodeID) bool {
+	for _, u := range c.used {
+		if u == id {
+			return true
+		}
+	}
+	return false
+}
+
+// badNeighbors returns the bad neighbors of u, filtering the full
+// neighborhood walk once per victim per run and answering later queries
+// from the cache. Victims are queried on every delivery they hear, so
+// this turns the corruptor's per-delivery cost from a neighborhood walk
+// into a scan of the few cached bad ids.
+func (c *corruptorCore) badNeighbors(v View, u grid.NodeID) []grid.NodeID {
+	c.ensureCache(v.Topo().Size())
+	sp := c.badNbrSpan[u]
+	if sp[0] < 0 {
+		lo := int32(len(c.badNbrArena))
+		c.nbrScratch = v.Topo().AppendNeighbors(c.nbrScratch[:0], u)
+		for _, nb := range c.nbrScratch {
+			if v.IsBad(nb) {
+				c.badNbrArena = append(c.badNbrArena, nb)
+			}
+		}
+		sp = [2]int32{lo, int32(len(c.badNbrArena))}
+		c.badNbrSpan[u] = sp
+	}
+	return c.badNbrArena[sp[0]:sp[1]]
 }
 
 // pickJammer returns the bad neighbor of u with remaining budget that is
 // closest to the transmitter (ties broken by id), skipping nodes in
 // exclude. Proximity to the transmitter maximizes how many of the
 // transmission's other receivers the jam also covers.
-func pickJammer(v View, u, from grid.NodeID, exclude map[grid.NodeID]bool) grid.NodeID {
+func (c *corruptorCore) pickJammer(v View, u, from grid.NodeID, exclude []grid.NodeID) grid.NodeID {
 	tor := v.Topo()
 	jammer := grid.None
 	best := int(^uint(0) >> 1)
-	tor.ForEachNeighbor(u, func(nb grid.NodeID) {
-		if !v.IsBad(nb) || v.BadBudgetLeft(nb) <= 0 || exclude[nb] {
-			return
+next:
+	for _, nb := range c.badNeighbors(v, u) {
+		if v.BadBudgetLeft(nb) <= 0 {
+			continue
+		}
+		for _, x := range exclude {
+			if x == nb {
+				continue next
+			}
 		}
 		dist := tor.Dist(nb, from)
 		if dist < best || (dist == best && nb < jammer) {
 			best = dist
 			jammer = nb
 		}
-	})
+	}
 	return jammer
+}
+
+// ensureCache sizes the bad-neighbor cache to the topology.
+func (c *corruptorCore) ensureCache(n int) {
+	if len(c.badNbrSpan) == n {
+		return
+	}
+	c.badNbrSpan = make([][2]int32, n)
+	for i := range c.badNbrSpan {
+		c.badNbrSpan[i][0] = -1
+	}
+	c.badNbrArena = c.badNbrArena[:0]
 }
 
 // badBudgetNear sums the remaining budget of the bad nodes within range
 // of u (the only ones that can deny deliveries to u).
-func badBudgetNear(v View, u grid.NodeID) int {
+func (c *corruptorCore) badBudgetNear(v View, u grid.NodeID) int {
 	budget := 0
-	v.Topo().ForEachNeighbor(u, func(nb grid.NodeID) {
-		if v.IsBad(nb) {
-			budget += v.BadBudgetLeft(nb)
-		}
-	})
+	for _, nb := range c.badNeighbors(v, u) {
+		budget += v.BadBudgetLeft(nb)
+	}
 	return budget
 }
 
@@ -238,6 +322,10 @@ func NewCorruptor() *Corruptor { return &Corruptor{} }
 
 // Name implements Strategy.
 func (c *Corruptor) Name() string { return "corruptor" }
+
+// DeliveryDriven implements DeliveryDriven: the corruptor only ever
+// collides with concurrent good transmissions, so empty slots are silent.
+func (c *Corruptor) DeliveryDriven() bool { return true }
 
 // Jams implements Strategy.
 func (c *Corruptor) Jams(v View, _ int, tentative []radio.Delivery) []radio.Tx {
@@ -268,6 +356,10 @@ func NewTargeted(victims []bool) *Targeted { return &Targeted{Victims: victims} 
 
 // Name implements Strategy.
 func (t *Targeted) Name() string { return "targeted" }
+
+// DeliveryDriven implements DeliveryDriven: Targeted only denies
+// tentative deliveries, so empty slots are silent.
+func (t *Targeted) DeliveryDriven() bool { return true }
 
 // Jams implements Strategy.
 func (t *Targeted) Jams(v View, _ int, tentative []radio.Delivery) []radio.Tx {

@@ -220,17 +220,18 @@ func TestPickJammerPrefersTransmitterProximity(t *testing.T) {
 	v.bad[far] = true
 	v.budget[near] = 1
 	v.budget[far] = 1
-	if got := pickJammer(v, victim, from, nil); got != near {
+	core := &corruptorCore{}
+	if got := core.pickJammer(v, victim, from, nil); got != near {
 		t.Fatalf("pickJammer = %d, want %d", got, near)
 	}
 	// Excluding the near one falls back to the far one.
-	if got := pickJammer(v, victim, from, map[grid.NodeID]bool{near: true}); got != far {
+	if got := core.pickJammer(v, victim, from, []grid.NodeID{near}); got != far {
 		t.Fatalf("pickJammer with exclude = %d, want %d", got, far)
 	}
 	// No budget anywhere: none.
 	v.budget[near] = 0
 	v.budget[far] = 0
-	if got := pickJammer(v, victim, from, nil); got != grid.None {
+	if got := core.pickJammer(v, victim, from, nil); got != grid.None {
 		t.Fatalf("pickJammer broke = %d, want None", got)
 	}
 }

@@ -2,8 +2,12 @@ package exper
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+
+	"bftbcast/internal/sim"
+	"bftbcast/internal/sim/simtest"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -72,5 +76,42 @@ func TestOutcomeRendering(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "[FAILED]") || !strings.Contains(buf.String(), "FAIL: boom x") {
 		t.Errorf("failed outcome rendering:\n%s", buf.String())
+	}
+}
+
+// TestSweepInvariantsRandomized runs the shared Lemma 1 property helper
+// (internal/sim/simtest) through the experiment harness's worker pool:
+// the randomized placement × strategy × topology matrix must uphold the
+// universal invariants on every sweep point, and the pooled sim.Run
+// engines must stay independent across workers.
+func TestSweepInvariantsRandomized(t *testing.T) {
+	points := 48
+	if testing.Short() {
+		points = 16
+	}
+	gen, err := simtest.NewGen(0xE0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := make([]simtest.Case, points)
+	for i := range cases {
+		cases[i] = gen.Next()
+	}
+	errs := make([]error, points)
+	if err := ForEach(4, points, func(i int) error {
+		cfg := cases[i].Build()
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cases[i].Desc, err)
+		}
+		errs[i] = simtest.InvariantViolation(cfg, res)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("point %d (%s): %v", i, cases[i].Desc, err)
+		}
 	}
 }

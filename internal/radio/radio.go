@@ -12,6 +12,7 @@ package radio
 
 import (
 	"fmt"
+	"slices"
 
 	"bftbcast/internal/grid"
 	"bftbcast/internal/topo"
@@ -55,10 +56,21 @@ type Delivery struct {
 }
 
 // Medium resolves transmissions into deliveries on a fixed topology.
+// Construction flattens the topology's adjacency into a CSR (offset +
+// neighbor array) layout once, so per-slot resolution is a pair of array
+// walks with no closure calls and no modular arithmetic — the simulation
+// hot path spends most of its time here.
+//
 // It keeps per-node scratch state, so a Medium is not safe for concurrent
-// use; create one per goroutine.
+// use; create one per goroutine. A Medium is reusable across runs on the
+// same topology (see ResetStats).
 type Medium struct {
 	t topo.Topology
+
+	// CSR adjacency: the neighbors of node i are nbrs[off[i]:off[i+1]],
+	// in the topology's deterministic iteration order.
+	off  []int32
+	nbrs []grid.NodeID
 
 	epoch    int32
 	mark     []int32       // epoch stamp per node
@@ -81,8 +93,9 @@ type Medium struct {
 // NewMedium returns a Medium for t.
 func NewMedium(t topo.Topology) *Medium {
 	n := t.Size()
-	return &Medium{
+	m := &Medium{
 		t:        t,
+		off:      make([]int32, n+1),
 		mark:     make([]int32, n),
 		nGood:    make([]int16, n),
 		goodVal:  make([]Value, n),
@@ -93,7 +106,27 @@ func NewMedium(t topo.Topology) *Medium {
 		sending:  make([]bool, n),
 		touched:  make([]grid.NodeID, 0, 256),
 	}
+	m.nbrs = make([]grid.NodeID, 0, n*t.MaxDegree())
+	for i := 0; i < n; i++ {
+		m.nbrs = t.AppendNeighbors(m.nbrs, grid.NodeID(i))
+		m.off[i+1] = int32(len(m.nbrs))
+	}
+	return m
 }
+
+// Neighbors returns the flattened neighbor list of id, in the
+// topology's deterministic iteration order. The slice aliases the
+// Medium's CSR storage and must not be modified; the simulation engine
+// shares it for its own neighbor walks instead of building a second
+// copy of the adjacency.
+func (m *Medium) Neighbors(id grid.NodeID) []grid.NodeID {
+	return m.nbrs[m.off[id]:m.off[id+1]]
+}
+
+// ResetStats clears the accumulated statistics so the Medium can be
+// reused for a fresh run on the same topology. The per-slot scratch state
+// is epoch-stamped and needs no clearing.
+func (m *Medium) ResetStats() { m.GoodGoodCollisions = 0 }
 
 // Resolve computes the deliveries produced by the slot's transmissions and
 // invokes deliver for each receiver that hears something. Deliveries are
@@ -108,19 +141,25 @@ func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
 		}
 	}
 	m.touched = m.touched[:0]
+	epoch := m.epoch
 
-	for _, tx := range txs {
+	for i := range txs {
+		tx := &txs[i]
 		if tx.Value == ValueNone && !tx.Drop {
 			return fmt.Errorf("radio: transmission from %d carries ValueNone", tx.From)
+		}
+		if int(tx.From) < 0 || int(tx.From) >= len(m.mark) {
+			return fmt.Errorf("radio: transmitter %d out of range", tx.From)
 		}
 		m.sending[tx.From] = true
 	}
 
-	for _, tx := range txs {
-		tx := tx
-		m.t.ForEachNeighbor(tx.From, func(to grid.NodeID) {
-			if m.mark[to] != m.epoch {
-				m.mark[to] = m.epoch
+	for i := range txs {
+		tx := &txs[i]
+		from := tx.From
+		for _, to := range m.nbrs[m.off[from]:m.off[from+1]] {
+			if m.mark[to] != epoch {
+				m.mark[to] = epoch
 				m.nGood[to] = 0
 				m.goodVal[to] = ValueNone
 				m.jamVal[to] = ValueNone
@@ -130,56 +169,58 @@ func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
 			if tx.Jam {
 				if !m.jammed[to] {
 					m.jammed[to] = true
-					m.jamFrom[to] = tx.From
+					m.jamFrom[to] = from
 					if tx.Drop {
 						m.jamVal[to] = ValueNone
 					} else {
 						m.jamVal[to] = tx.Value
 					}
 				}
-				return
+				continue
 			}
 			m.nGood[to]++
 			m.goodVal[to] = tx.Value
-			m.goodFrom[to] = tx.From
-		})
+			m.goodFrom[to] = from
+		}
 	}
 
-	// Sort touched receivers for deterministic delivery order. The slice
-	// is short (bounded by transmitters × neighborhood size); insertion
-	// sort avoids allocation.
-	insertionSortIDs(m.touched)
-
-	for _, to := range m.touched {
-		if m.sending[to] {
-			continue // half-duplex
-		}
-		switch {
-		case m.jammed[to]:
-			if v := m.jamVal[to]; v != ValueNone {
-				deliver(Delivery{To: to, Value: v, From: m.jamFrom[to], Collided: true})
+	// Deliveries must be reported in ascending receiver id order. When
+	// the slot touched a large fraction of the network (dense waves of
+	// same-color transmitters), scanning the epoch marks in id order is
+	// cheaper than sorting; otherwise sort the short touched list in
+	// place (slices.Sort does not allocate).
+	if len(m.touched)*4 >= len(m.mark) {
+		for i := range m.mark {
+			if m.mark[i] == epoch {
+				m.emit(grid.NodeID(i), deliver)
 			}
-		case m.nGood[to] == 1:
-			deliver(Delivery{To: to, Value: m.goodVal[to], From: m.goodFrom[to]})
-		case m.nGood[to] >= 2:
-			m.GoodGoodCollisions++
+		}
+	} else {
+		slices.Sort(m.touched)
+		for _, to := range m.touched {
+			m.emit(to, deliver)
 		}
 	}
 
-	for _, tx := range txs {
-		m.sending[tx.From] = false
+	for i := range txs {
+		m.sending[txs[i].From] = false
 	}
 	return nil
 }
 
-func insertionSortIDs(s []grid.NodeID) {
-	for i := 1; i < len(s); i++ {
-		v := s[i]
-		j := i - 1
-		for j >= 0 && s[j] > v {
-			s[j+1] = s[j]
-			j--
+// emit reports the outcome of the slot at receiver to.
+func (m *Medium) emit(to grid.NodeID, deliver func(Delivery)) {
+	if m.sending[to] {
+		return // half-duplex
+	}
+	switch {
+	case m.jammed[to]:
+		if v := m.jamVal[to]; v != ValueNone {
+			deliver(Delivery{To: to, Value: v, From: m.jamFrom[to], Collided: true})
 		}
-		s[j+1] = v
+	case m.nGood[to] == 1:
+		deliver(Delivery{To: to, Value: m.goodVal[to], From: m.goodFrom[to]})
+	case m.nGood[to] >= 2:
+		m.GoodGoodCollisions++
 	}
 }

@@ -12,11 +12,24 @@
 // crossings into acceptances, which schedule new relays. The run ends when
 // no transmissions remain pending: either every good node has decided
 // Vtrue (Completed) or the broadcast has stalled.
+//
+// # Fast path
+//
+// This package is the sparse fast path: per-color active-sender queues
+// make each slot cost O(active transmitters) instead of O(nodes in the
+// color class), idle slots are skipped in O(1) per period when the
+// adversary is delivery-driven, and all engine state lives in a reusable
+// Runner so sweeps pay no per-run allocation beyond the Result. The
+// original dense engine is preserved verbatim in internal/sim/ref as the
+// reference implementation; the differential-testing oracle
+// (internal/sim/simtest, wired up in oracle_test.go) asserts bit-identical
+// Results between the two over randomized configurations.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"bftbcast/internal/adversary"
 	"bftbcast/internal/core"
@@ -50,7 +63,9 @@ type Config struct {
 	OnAccept func(slot int, id grid.NodeID, v radio.Value)
 }
 
-// Result reports the outcome of a run.
+// Result reports the outcome of a run. All slices are owned by the
+// caller: the engine copies its internal state into fresh slices before
+// returning, so Results stay valid however the engine is reused.
 type Result struct {
 	// Completed is true when every good node decided Vtrue.
 	Completed bool
@@ -83,13 +98,39 @@ type Result struct {
 	MaxGoodSends int
 }
 
-// engine is the mutable run state.
-type engine struct {
-	cfg      Config
-	tor      topo.Topology
+// runnerPool recycles Runners across Run calls, so sweeps that call Run
+// in a loop (or from the exper worker pool) reuse engine state instead of
+// reallocating it per point.
+var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
+
+// Run executes the configured simulation and returns its Result. It
+// draws a reusable Runner from an internal pool, so repeated calls on
+// same-sized topologies avoid per-run allocation of the engine state.
+func Run(cfg Config) (*Result, error) {
+	r := runnerPool.Get().(*Runner)
+	res, err := r.Run(cfg)
+	runnerPool.Put(r)
+	return res, err
+}
+
+// Runner is a reusable simulation engine: all per-run state (counters,
+// budgets, color queues, scratch buffers) is allocated once and
+// reset-and-reused by every Run call, keyed to the configured topology.
+// Switching topologies between calls is allowed and re-derives the
+// schedule, the radio medium and the flattened adjacency.
+//
+// A Runner is not safe for concurrent use; create one per goroutine (the
+// package-level Run does this through a sync.Pool).
+type Runner struct {
+	// Per-topology state, rebuilt only when the topology changes. The
+	// medium's CSR adjacency doubles as the engine's neighbor table.
+	topo     topo.Topology
 	schedule *sched.TDMA
 	medium   *radio.Medium
+	colors   []int32 // TDMA color per node
 
+	// Per-run state, reset by Run.
+	cfg        Config
 	bad        []bool
 	decided    []bool
 	decidedVal []radio.Value
@@ -103,22 +144,97 @@ type engine struct {
 	goodBudget []radio.Budget
 	badBudget  []radio.Budget
 
-	colorNodes   [][]grid.NodeID
+	// active[c] queues the nodes of color c with pending transmissions,
+	// in activation order with lazy removal; colorPending[c] is the exact
+	// total pending over the color class, so empty slots are detected in
+	// O(1) and skipped without scanning the class.
+	active       [][]grid.NodeID
+	colorPending []int64
 	pendingTotal int64
+
+	trackSupply bool // supply bookkeeping is only needed by strategies
+	curSlot     int
+
+	// Scratch reused across slots; the callbacks are allocated once per
+	// Runner so Resolve never causes a per-slot closure allocation.
+	txs         []radio.Tx
+	tentative   []radio.Delivery
+	tentativeCb func(radio.Delivery)
+	deliverCb   func(radio.Delivery)
+	jamSeen     []int32 // epoch stamps replacing validateJams' map
+	jamEpoch    int32
 
 	res Result
 }
 
-// Run executes the configured simulation and returns its Result.
-func Run(cfg Config) (*Result, error) {
-	e, err := newEngine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return e.run()
+// NewRunner returns an empty Runner; the first Run sizes it.
+func NewRunner() *Runner {
+	r := &Runner{}
+	r.tentativeCb = func(d radio.Delivery) { r.tentative = append(r.tentative, d) }
+	r.deliverCb = func(d radio.Delivery) { r.deliver(r.curSlot, d) }
+	return r
 }
 
-func newEngine(cfg Config) (*engine, error) {
+// retarget (re)builds the per-topology state when cfg.Topo differs from
+// the previous run's topology.
+func (r *Runner) retarget(t topo.Topology) error {
+	schedule, err := sched.New(t)
+	if err != nil {
+		return err
+	}
+	r.topo = t
+	r.schedule = schedule
+	r.medium = radio.NewMedium(t)
+	n := t.Size()
+	r.colors = make([]int32, n)
+	for i := 0; i < n; i++ {
+		r.colors[i] = int32(schedule.ColorOf(grid.NodeID(i)))
+	}
+
+	r.decided = make([]bool, n)
+	r.decidedVal = make([]radio.Value, n)
+	r.counts = make([]int32, n*(maxTrackedValue+1))
+	r.correct = make([]int32, n)
+	r.wrong = make([]int32, n)
+	r.sent = make([]int32, n)
+	r.pending = make([]int32, n)
+	r.supplies = make([]bool, n)
+	r.supply = make([]int32, n)
+	r.goodBudget = make([]radio.Budget, n)
+	r.badBudget = make([]radio.Budget, n)
+	r.jamSeen = make([]int32, n)
+	r.jamEpoch = 0
+	r.active = make([][]grid.NodeID, schedule.Period())
+	r.colorPending = make([]int64, schedule.Period())
+	r.pendingTotal = 0
+	r.res = Result{}
+	return nil
+}
+
+// reset clears the per-run state for a fresh run on the current topology.
+func (r *Runner) reset() {
+	clear(r.decided)
+	clear(r.decidedVal)
+	clear(r.counts)
+	clear(r.correct)
+	clear(r.wrong)
+	clear(r.sent)
+	clear(r.pending)
+	clear(r.supplies)
+	clear(r.supply)
+	clear(r.goodBudget)
+	clear(r.badBudget)
+	for c := range r.active {
+		r.active[c] = r.active[c][:0]
+	}
+	clear(r.colorPending)
+	r.pendingTotal = 0
+	r.res = Result{}
+	r.medium.ResetStats()
+}
+
+// Run executes one simulation, reusing the Runner's allocations.
+func (r *Runner) Run(cfg Config) (*Result, error) {
 	if cfg.Topo == nil {
 		return nil, errors.New("sim: config needs a topology")
 	}
@@ -131,9 +247,12 @@ func newEngine(cfg Config) (*engine, error) {
 	if cfg.Params.R != cfg.Topo.Range() {
 		return nil, fmt.Errorf("sim: params r=%d but topology r=%d", cfg.Params.R, cfg.Topo.Range())
 	}
-	schedule, err := sched.New(cfg.Topo)
-	if err != nil {
-		return nil, err
+	if r.topo != cfg.Topo {
+		if err := r.retarget(cfg.Topo); err != nil {
+			return nil, err
+		}
+	} else {
+		r.reset()
 	}
 	n := cfg.Topo.Size()
 	if int(cfg.Source) < 0 || int(cfg.Source) >= n {
@@ -152,193 +271,242 @@ func newEngine(cfg Config) (*engine, error) {
 		return nil, err
 	}
 
-	e := &engine{
-		cfg:        cfg,
-		tor:        cfg.Topo,
-		schedule:   schedule,
-		medium:     radio.NewMedium(cfg.Topo),
-		bad:        bad,
-		decided:    make([]bool, n),
-		decidedVal: make([]radio.Value, n),
-		counts:     make([]int32, n*(maxTrackedValue+1)),
-		correct:    make([]int32, n),
-		wrong:      make([]int32, n),
-		sent:       make([]int32, n),
-		pending:    make([]int32, n),
-		supplies:   make([]bool, n),
-		supply:     make([]int32, n),
-		goodBudget: make([]radio.Budget, n),
-		badBudget:  make([]radio.Budget, n),
-	}
+	r.cfg = cfg
+	r.bad = bad
+	r.trackSupply = cfg.Strategy != nil
 	for i := 0; i < n; i++ {
 		id := grid.NodeID(i)
 		if bad[i] {
-			e.badBudget[i] = radio.NewBudget(cfg.Params.MF)
-			e.res.BadCount++
+			r.badBudget[i] = radio.NewBudget(cfg.Params.MF)
+			r.res.BadCount++
 			continue
 		}
 		if id == cfg.Source {
-			e.goodBudget[i] = radio.Unlimited()
+			r.goodBudget[i] = radio.Unlimited()
 			continue
 		}
-		e.goodBudget[i] = radio.NewBudget(cfg.Spec.Budget(id))
-	}
-
-	e.colorNodes = make([][]grid.NodeID, schedule.Period())
-	for i := 0; i < n; i++ {
-		c := schedule.ColorOf(grid.NodeID(i))
-		e.colorNodes[c] = append(e.colorNodes[c], grid.NodeID(i))
+		r.goodBudget[i] = radio.NewBudget(cfg.Spec.Budget(id))
 	}
 
 	// Base station: decided on Vtrue, repeats it SourceRepeats times.
-	e.decided[cfg.Source] = true
-	e.decidedVal[cfg.Source] = radio.ValueTrue
-	e.addPending(cfg.Source, cfg.Spec.SourceRepeats)
-	return e, nil
+	r.decided[cfg.Source] = true
+	r.decidedVal[cfg.Source] = radio.ValueTrue
+	r.addPending(cfg.Source, cfg.Spec.SourceRepeats)
+
+	res, err := r.run()
+	// Drop the per-run references so a pooled Runner does not pin the
+	// caller's placement, strategy or callbacks between runs.
+	r.cfg = Config{}
+	r.bad = nil
+	return res, err
+}
+
+// neighbors returns the flattened neighbor list of id (the medium's CSR
+// adjacency, shared read-only).
+func (r *Runner) neighbors(id grid.NodeID) []grid.NodeID {
+	return r.medium.Neighbors(id)
 }
 
 // addPending schedules n more transmissions at id and, when id supplies
-// Vtrue, credits the supply estimate of its neighbors.
-func (e *engine) addPending(id grid.NodeID, n int) {
+// Vtrue, credits the supply estimate of its neighbors. A node gains
+// pending work at most once per run (at its acceptance, or at the source
+// bootstrap), so this is also the only point where id enters its color
+// queue.
+func (r *Runner) addPending(id grid.NodeID, n int) {
 	if n <= 0 {
 		return
 	}
-	e.pending[id] += int32(n)
-	e.pendingTotal += int64(n)
-	if e.decidedVal[id] == radio.ValueTrue && !e.bad[id] {
-		e.supplies[id] = true
-		e.tor.ForEachNeighbor(id, func(nb grid.NodeID) {
-			e.supply[nb] += int32(n)
-		})
+	c := r.colors[id]
+	if r.pending[id] <= 0 {
+		r.active[c] = append(r.active[c], id)
+	}
+	r.pending[id] += int32(n)
+	r.colorPending[c] += int64(n)
+	r.pendingTotal += int64(n)
+	if r.trackSupply && r.decidedVal[id] == radio.ValueTrue && !r.bad[id] {
+		r.supplies[id] = true
+		for _, nb := range r.neighbors(id) {
+			r.supply[nb] += int32(n)
+		}
 	}
 }
 
-func (e *engine) defaultMaxSlots() int {
+func (r *Runner) defaultMaxSlots() int {
 	maxSends := 0
-	for i := 0; i < e.tor.Size(); i++ {
-		if s := e.cfg.Spec.Sends(grid.NodeID(i)); s > maxSends {
+	for i := 0; i < r.topo.Size(); i++ {
+		if s := r.cfg.Spec.Sends(grid.NodeID(i)); s > maxSends {
 			maxSends = s
 		}
 	}
-	period := e.schedule.Period()
-	hops := e.tor.DiameterHint()
-	return period * (e.cfg.Spec.SourceRepeats + hops*(maxSends+1) + 2*period)
+	period := r.schedule.Period()
+	hops := r.topo.DiameterHint()
+	return period * (r.cfg.Spec.SourceRepeats + hops*(maxSends+1) + 2*period)
 }
 
-func (e *engine) run() (*Result, error) {
-	maxSlots := e.cfg.MaxSlots
-	if maxSlots <= 0 {
-		maxSlots = e.defaultMaxSlots()
+// deliveryDriven reports whether the configured strategy never transmits
+// in a slot without tentative deliveries, which lets the engine skip idle
+// slots wholesale (see adversary.DeliveryDriven).
+func (r *Runner) deliveryDriven() bool {
+	if r.cfg.Strategy == nil {
+		return true
 	}
-	var (
-		txs       []radio.Tx
-		tentative []radio.Delivery
-	)
-	view := engineView{e}
-	slot := 0
-	for ; e.pendingTotal > 0 && slot < maxSlots; slot++ {
-		color := e.schedule.SlotColor(slot)
-		txs = txs[:0]
-		for _, id := range e.colorNodes[color] {
-			if e.pending[id] <= 0 || e.bad[id] {
-				continue
-			}
-			if !e.goodBudget[id].TrySpend() {
-				// Budget exhausted below the protocol's send count:
-				// drop the remaining pendings (can happen only when a
-				// spec sends more than its own budget).
-				e.dropPending(id)
-				continue
-			}
-			e.consumePending(id)
-			e.sent[id]++
-			e.res.GoodMessages++
-			txs = append(txs, radio.Tx{From: id, Value: e.decidedVal[id]})
-		}
+	dd, ok := r.cfg.Strategy.(adversary.DeliveryDriven)
+	return ok && dd.DeliveryDriven()
+}
 
-		tentative = tentative[:0]
+// nextBusySlot returns the first slot >= slot whose color class has
+// pending transmissions, or maxSlots when none arrives before the cap.
+// Since pendingTotal > 0 implies some color is busy, the scan is bounded
+// by one schedule period.
+func (r *Runner) nextBusySlot(slot, maxSlots int) int {
+	period := r.schedule.Period()
+	for d := 0; d < period; d++ {
+		s := slot + d
+		if s >= maxSlots {
+			return maxSlots
+		}
+		if r.colorPending[r.schedule.SlotColor(s)] > 0 {
+			return s
+		}
+	}
+	return maxSlots
+}
+
+func (r *Runner) run() (*Result, error) {
+	maxSlots := r.cfg.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = r.defaultMaxSlots()
+	}
+	canSkip := r.deliveryDriven()
+	view := runnerView{r}
+	slot := 0
+	for r.pendingTotal > 0 && slot < maxSlots {
+		color := r.schedule.SlotColor(slot)
+		if r.colorPending[color] == 0 && canSkip {
+			// Nothing transmits and the strategy stays silent on empty
+			// slots: fast-forward to the next busy color. The slot
+			// counter advances exactly as if the idle slots had run.
+			slot = r.nextBusySlot(slot+1, maxSlots)
+			continue
+		}
+		r.curSlot = slot
+
+		txs := r.txs[:0]
+		if r.colorPending[color] > 0 {
+			q := r.active[color]
+			w := 0
+			for _, id := range q {
+				if r.pending[id] <= 0 {
+					continue // lazily drop drained entries
+				}
+				if !r.goodBudget[id].TrySpend() {
+					// Budget exhausted below the protocol's send count:
+					// drop the remaining pendings (can happen only when
+					// a spec sends more than its own budget).
+					r.dropPending(id)
+					continue
+				}
+				r.consumePending(id)
+				r.sent[id]++
+				r.res.GoodMessages++
+				txs = append(txs, radio.Tx{From: id, Value: r.decidedVal[id]})
+				if r.pending[id] > 0 {
+					q[w] = id
+					w++
+				}
+			}
+			r.active[color] = q[:w]
+		}
+		r.txs = txs
+
+		r.tentative = r.tentative[:0]
 		if len(txs) > 0 {
-			if err := e.medium.Resolve(txs, func(d radio.Delivery) {
-				tentative = append(tentative, d)
-			}); err != nil {
+			if err := r.medium.Resolve(txs, r.tentativeCb); err != nil {
 				return nil, err
 			}
 		}
 
 		var jams []radio.Tx
-		if e.cfg.Strategy != nil {
-			jams = e.validateJams(e.cfg.Strategy.Jams(view, slot, tentative))
+		if r.cfg.Strategy != nil {
+			jams = r.validateJams(r.cfg.Strategy.Jams(view, slot, r.tentative))
 		}
 
 		if len(jams) == 0 {
-			for _, d := range tentative {
-				e.deliver(slot, d)
+			for _, d := range r.tentative {
+				r.deliver(slot, d)
 			}
+			slot++
 			continue
 		}
-		txs = append(txs, jams...)
-		if err := e.medium.Resolve(txs, func(d radio.Delivery) {
-			e.deliver(slot, d)
-		}); err != nil {
+		r.txs = append(r.txs, jams...)
+		if err := r.medium.Resolve(r.txs, r.deliverCb); err != nil {
 			return nil, err
 		}
+		slot++
 	}
 
-	return e.finish(slot, maxSlots), nil
+	return r.finish(slot, maxSlots), nil
 }
 
 // consumePending removes one pending transmission from id, debiting the
 // neighbors' supply when id was a Vtrue supplier.
-func (e *engine) consumePending(id grid.NodeID) {
-	e.pending[id]--
-	e.pendingTotal--
-	if e.supplies[id] {
-		e.tor.ForEachNeighbor(id, func(nb grid.NodeID) {
-			e.supply[nb]--
-		})
+func (r *Runner) consumePending(id grid.NodeID) {
+	r.pending[id]--
+	r.colorPending[r.colors[id]]--
+	r.pendingTotal--
+	if r.supplies[id] {
+		for _, nb := range r.neighbors(id) {
+			r.supply[nb]--
+		}
 	}
 }
 
 // dropPending discards all remaining pendings of id.
-func (e *engine) dropPending(id grid.NodeID) {
-	p := e.pending[id]
+func (r *Runner) dropPending(id grid.NodeID) {
+	p := r.pending[id]
 	if p <= 0 {
 		return
 	}
-	e.pending[id] = 0
-	e.pendingTotal -= int64(p)
-	if e.supplies[id] {
-		e.tor.ForEachNeighbor(id, func(nb grid.NodeID) {
-			e.supply[nb] -= p
-		})
+	r.pending[id] = 0
+	r.colorPending[r.colors[id]] -= int64(p)
+	r.pendingTotal -= int64(p)
+	if r.supplies[id] {
+		for _, nb := range r.neighbors(id) {
+			r.supply[nb] -= p
+		}
 	}
 }
 
 // validateJams enforces the adversary rules: jams must come from distinct
 // bad nodes with remaining budget, carry a trackable value, and each costs
-// one budget unit.
-func (e *engine) validateJams(jams []radio.Tx) []radio.Tx {
+// one budget unit. Duplicate senders are detected with an epoch-stamped
+// array instead of a per-slot map.
+func (r *Runner) validateJams(jams []radio.Tx) []radio.Tx {
 	if len(jams) == 0 {
 		return nil
 	}
+	r.jamEpoch++
+	if r.jamEpoch < 0 {
+		r.jamEpoch = 1
+		clear(r.jamSeen)
+	}
 	valid := jams[:0]
-	seen := make(map[grid.NodeID]bool, len(jams))
 	for _, j := range jams {
 		switch {
-		case int(j.From) < 0 || int(j.From) >= e.tor.Size(),
-			!e.bad[j.From],
-			seen[j.From],
+		case int(j.From) < 0 || int(j.From) >= r.topo.Size(),
+			!r.bad[j.From],
+			r.jamSeen[j.From] == r.jamEpoch,
 			!j.Jam,
 			!j.Drop && (j.Value <= 0 || j.Value > maxTrackedValue):
-			e.res.RejectedJams++
+			r.res.RejectedJams++
 			continue
 		}
-		if !e.badBudget[j.From].TrySpend() {
-			e.res.RejectedJams++
+		if !r.badBudget[j.From].TrySpend() {
+			r.res.RejectedJams++
 			continue
 		}
-		seen[j.From] = true
-		e.res.BadMessages++
+		r.jamSeen[j.From] = r.jamEpoch
+		r.res.BadMessages++
 		valid = append(valid, j)
 	}
 	return valid
@@ -346,72 +514,72 @@ func (e *engine) validateJams(jams []radio.Tx) []radio.Tx {
 
 // deliver applies one final delivery to the receiver's counters and
 // processes a threshold crossing.
-func (e *engine) deliver(slot int, d radio.Delivery) {
+func (r *Runner) deliver(slot int, d radio.Delivery) {
 	u := d.To
-	if e.bad[u] {
+	if r.bad[u] {
 		return // adversary nodes do not run the protocol
 	}
 	if d.Value == radio.ValueTrue {
-		e.correct[u]++
+		r.correct[u]++
 	} else {
-		e.wrong[u]++
+		r.wrong[u]++
 	}
 	v := d.Value
 	if v < 0 || v > maxTrackedValue {
 		v = maxTrackedValue // clamp exotic values into the last bucket
 	}
 	idx := int(u)*(maxTrackedValue+1) + int(v)
-	e.counts[idx]++
-	if e.decided[u] || e.counts[idx] != int32(e.cfg.Spec.Threshold) {
+	r.counts[idx]++
+	if r.decided[u] || r.counts[idx] != int32(r.cfg.Spec.Threshold) {
 		return
 	}
-	e.accept(slot, u, d.Value)
+	r.accept(slot, u, d.Value)
 }
 
 // accept commits node u to value v and schedules its relays.
-func (e *engine) accept(slot int, u grid.NodeID, v radio.Value) {
-	e.decided[u] = true
-	e.decidedVal[u] = v
+func (r *Runner) accept(slot int, u grid.NodeID, v radio.Value) {
+	r.decided[u] = true
+	r.decidedVal[u] = v
 	if v != radio.ValueTrue {
-		e.res.WrongDecisions++
+		r.res.WrongDecisions++
 	}
-	sends := e.cfg.Spec.Sends(u)
-	if left := e.goodBudget[u].Left(); left >= 0 && sends > left {
+	sends := r.cfg.Spec.Sends(u)
+	if left := r.goodBudget[u].Left(); left >= 0 && sends > left {
 		sends = left
 	}
-	e.addPending(u, sends)
-	if e.cfg.OnAccept != nil {
-		e.cfg.OnAccept(slot, u, v)
+	r.addPending(u, sends)
+	if r.cfg.OnAccept != nil {
+		r.cfg.OnAccept(slot, u, v)
 	}
 }
 
-func (e *engine) finish(slot, maxSlots int) *Result {
-	res := &e.res
+func (r *Runner) finish(slot, maxSlots int) *Result {
+	res := &r.res
 	res.Slots = slot
-	res.TimedOut = e.pendingTotal > 0 && slot >= maxSlots
-	res.GoodGoodCollisions = e.medium.GoodGoodCollisions
+	res.TimedOut = r.pendingTotal > 0 && slot >= maxSlots
+	res.GoodGoodCollisions = r.medium.GoodGoodCollisions
 
 	var sumSends, goodNonSource int
 	allTrue := true
-	for i := 0; i < e.tor.Size(); i++ {
+	for i := 0; i < r.topo.Size(); i++ {
 		id := grid.NodeID(i)
-		if e.bad[i] {
+		if r.bad[i] {
 			continue
 		}
 		res.TotalGood++
-		if e.decided[i] {
+		if r.decided[i] {
 			res.DecidedGood++
-			if e.decidedVal[i] != radio.ValueTrue {
+			if r.decidedVal[i] != radio.ValueTrue {
 				allTrue = false
 			}
 		} else {
 			allTrue = false
 		}
-		if id != e.cfg.Source {
+		if id != r.cfg.Source {
 			goodNonSource++
-			sumSends += int(e.sent[i])
-			if int(e.sent[i]) > res.MaxGoodSends {
-				res.MaxGoodSends = int(e.sent[i])
+			sumSends += int(r.sent[i])
+			if int(r.sent[i]) > res.MaxGoodSends {
+				res.MaxGoodSends = int(r.sent[i])
 			}
 		}
 	}
@@ -420,41 +588,45 @@ func (e *engine) finish(slot, maxSlots int) *Result {
 	if goodNonSource > 0 {
 		res.AvgGoodSends = float64(sumSends) / float64(goodNonSource)
 	}
-	res.Decided = e.decided
-	res.DecidedValue = e.decidedVal
-	res.Correct = e.correct
-	res.Wrong = e.wrong
-	res.Sent = e.sent
-	return res
+	// Copy the per-node state out of the engine: the Runner's own slices
+	// are reset and reused by the next run, and handing them out would
+	// retroactively corrupt this Result (see TestResultNotAliased).
+	res.Decided = append([]bool(nil), r.decided...)
+	res.DecidedValue = append([]radio.Value(nil), r.decidedVal...)
+	res.Correct = append([]int32(nil), r.correct...)
+	res.Wrong = append([]int32(nil), r.wrong...)
+	res.Sent = append([]int32(nil), r.sent...)
+	out := *res
+	return &out
 }
 
-// engineView adapts the engine to adversary.View.
-type engineView struct{ e *engine }
+// runnerView adapts the Runner to adversary.View.
+type runnerView struct{ r *Runner }
 
-var _ adversary.View = engineView{}
+var _ adversary.View = runnerView{}
 
 // Topo implements adversary.View.
-func (v engineView) Topo() topo.Topology { return v.e.tor }
+func (v runnerView) Topo() topo.Topology { return v.r.topo }
 
 // IsBad implements adversary.View.
-func (v engineView) IsBad(id grid.NodeID) bool { return v.e.bad[id] }
+func (v runnerView) IsBad(id grid.NodeID) bool { return v.r.bad[id] }
 
 // IsDecided implements adversary.View.
-func (v engineView) IsDecided(id grid.NodeID) bool { return v.e.decided[id] }
+func (v runnerView) IsDecided(id grid.NodeID) bool { return v.r.decided[id] }
 
 // CorrectCount implements adversary.View.
-func (v engineView) CorrectCount(id grid.NodeID) int { return int(v.e.correct[id]) }
+func (v runnerView) CorrectCount(id grid.NodeID) int { return int(v.r.correct[id]) }
 
 // Threshold implements adversary.View.
-func (v engineView) Threshold() int { return v.e.cfg.Spec.Threshold }
+func (v runnerView) Threshold() int { return v.r.cfg.Spec.Threshold }
 
 // Supply implements adversary.View.
-func (v engineView) Supply(id grid.NodeID) int { return int(v.e.supply[id]) }
+func (v runnerView) Supply(id grid.NodeID) int { return int(v.r.supply[id]) }
 
 // BadBudgetLeft implements adversary.View.
-func (v engineView) BadBudgetLeft(id grid.NodeID) int {
-	if !v.e.bad[id] {
+func (v runnerView) BadBudgetLeft(id grid.NodeID) int {
+	if !v.r.bad[id] {
 		return 0
 	}
-	return v.e.badBudget[id].Left()
+	return v.r.badBudget[id].Left()
 }

@@ -1,0 +1,260 @@
+// Package simtest provides the shared testing vocabulary for the
+// simulation engines: the universal protocol invariants (Lemma 1 and the
+// TDMA schedule guarantee), a randomized configuration generator fuzzing
+// the topology × placement × strategy × spec matrix, and the
+// differential-testing oracle that asserts the sparse fast engine
+// (package sim) and the dense reference engine (package sim/ref) produce
+// bit-identical Results.
+//
+// It is imported by the test suites of sim, exper and actor; importing it
+// from non-test code is harmless but pulls in the reference engine.
+package simtest
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"bftbcast/internal/adversary"
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/sim"
+	"bftbcast/internal/sim/ref"
+	"bftbcast/internal/stats"
+	"bftbcast/internal/topo"
+)
+
+// InvariantViolation checks the invariants every run must satisfy
+// regardless of configuration, and returns a descriptive error on the
+// first violation:
+//
+//   - Lemma 1: no good node ever decides a value != Vtrue;
+//   - the TDMA schedule admits no good-good collisions;
+//   - per-node message budgets are respected (Sent <= Spec.Budget);
+//   - every Vtrue decision is backed by >= Threshold correct copies.
+func InvariantViolation(cfg sim.Config, res *sim.Result) error {
+	if res.WrongDecisions != 0 {
+		return fmt.Errorf("Lemma 1 violated: %d wrong decisions", res.WrongDecisions)
+	}
+	if res.GoodGoodCollisions != 0 {
+		return fmt.Errorf("TDMA violated: %d good-good collisions", res.GoodGoodCollisions)
+	}
+	for i := range res.Sent {
+		id := grid.NodeID(i)
+		if id == cfg.Source {
+			continue
+		}
+		if b := cfg.Spec.Budget(id); b >= 0 && int(res.Sent[i]) > b {
+			return fmt.Errorf("node %d sent %d > budget %d", i, res.Sent[i], b)
+		}
+		if res.Decided[i] && res.DecidedValue[i] == 1 && res.Correct[i] < int32(cfg.Spec.Threshold) {
+			return fmt.Errorf("node %d decided with %d < threshold %d correct copies",
+				i, res.Correct[i], cfg.Spec.Threshold)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants is InvariantViolation as a test assertion.
+func CheckInvariants(t testing.TB, cfg sim.Config, res *sim.Result) {
+	t.Helper()
+	if err := InvariantViolation(cfg, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Case is one randomized simulation configuration. Build returns a fresh
+// sim.Config on every call: adversary strategies carry per-run scratch
+// state, so each engine (and each repetition) must receive its own
+// instance.
+type Case struct {
+	Desc  string
+	Build func() sim.Config
+}
+
+// Gen produces randomized Cases over a fixed pool of topologies. The
+// pool is built once per Gen, so generating many cases does not re-run
+// topology construction (the RGG layout search in particular).
+type Gen struct {
+	rng  *stats.RNG
+	pool []poolEntry
+}
+
+type poolEntry struct {
+	tp topo.Topology
+	r  int // fault-model range (rgg uses hop range 1)
+}
+
+// NewGen returns a generator seeded from seed.
+func NewGen(seed uint64) (*Gen, error) {
+	g := &Gen{rng: stats.NewRNG(seed)}
+	torus9, err := grid.New(9, 9, 1)
+	if err != nil {
+		return nil, err
+	}
+	torus15, err := grid.New(15, 15, 2)
+	if err != nil {
+		return nil, err
+	}
+	torus20, err := grid.New(20, 20, 2)
+	if err != nil {
+		return nil, err
+	}
+	bounded, err := topo.NewBounded(14, 17, 2)
+	if err != nil {
+		return nil, err
+	}
+	rgg, err := topo.NewConnectedRGG(150, seed|1)
+	if err != nil {
+		return nil, err
+	}
+	g.pool = []poolEntry{
+		{torus9, 1}, {torus15, 2}, {torus20, 2}, {bounded, 2}, {rgg, 1},
+	}
+	return g, nil
+}
+
+// Next draws the next randomized Case.
+func (g *Gen) Next() Case {
+	e := g.pool[g.rng.Intn(len(g.pool))]
+	n := e.tp.Size()
+
+	// Fault model: t is kept small so random placements usually succeed,
+	// and mf small so the runs stay short.
+	t := g.rng.Intn(4)
+	mf := g.rng.Intn(4)
+	p := core.Params{R: e.r, T: t, MF: mf}
+	if p.Validate() != nil {
+		p = core.Params{R: e.r, T: 0, MF: 0}
+	}
+
+	// Spec: protocol B, the maximal-effort protocol near the m0 boundary,
+	// or the Koo-style repetition budget via FullBudget.
+	var spec core.Spec
+	var err error
+	switch g.rng.Intn(3) {
+	case 0:
+		spec, err = core.NewProtocolB(p)
+	case 1:
+		spec, err = core.NewFullBudget(p, maxInt(1, p.M0()-1+g.rng.Intn(3)))
+	default:
+		spec, err = core.NewFullBudget(p, p.M0()+1+g.rng.Intn(4))
+	}
+	if err != nil {
+		spec, _ = core.NewProtocolB(p)
+	}
+
+	source := grid.NodeID(g.rng.Intn(n))
+
+	// Placement and strategy. Strategies are built inside Build so each
+	// engine run gets fresh scratch state.
+	var placement adversary.Placement
+	strategyKind := 0
+	if p.T > 0 {
+		density := float64(g.rng.Intn(8)+1) / 100
+		placement = adversary.Random{T: p.T, Density: density, Seed: g.rng.Uint64()}
+		strategyKind = g.rng.Intn(4) // 0 none, 1 corruptor, 2 spammer, 3 targeted
+	}
+	victimSeed := g.rng.Uint64()
+	maxSlots := 0
+	if g.rng.Intn(8) == 0 {
+		maxSlots = 50 + g.rng.Intn(500) // occasionally exercise TimedOut
+	}
+
+	desc := fmt.Sprintf("%v t=%d mf=%d spec=%s src=%d strat=%d maxSlots=%d",
+		e.tp, p.T, p.MF, spec.Name, source, strategyKind, maxSlots)
+	build := func() sim.Config {
+		cfg := sim.Config{
+			Topo: e.tp, Params: p, Spec: spec, Source: source,
+			Placement: placement, MaxSlots: maxSlots,
+		}
+		switch strategyKind {
+		case 1:
+			cfg.Strategy = adversary.NewCorruptor()
+		case 2:
+			cfg.Strategy = adversary.NewSpammer()
+		case 3:
+			vr := stats.NewRNG(victimSeed)
+			victims := make([]bool, n)
+			for i := range victims {
+				victims[i] = vr.Intn(10) == 0
+			}
+			cfg.Strategy = adversary.NewTargeted(victims)
+		}
+		return cfg
+	}
+	return Case{Desc: desc, Build: build}
+}
+
+// NextFaultFree draws a randomized Case with no adversary: same
+// topology/spec/source fuzzing as Next, but placement and strategy are
+// stripped. The concurrent actor runtime only supports fault-free runs,
+// so its randomized equivalence check uses this variant.
+func (g *Gen) NextFaultFree() Case {
+	c := g.Next()
+	inner := c.Build
+	return Case{
+		Desc: c.Desc + " (fault-free)",
+		Build: func() sim.Config {
+			cfg := inner()
+			cfg.Placement = nil
+			cfg.Strategy = nil
+			return cfg
+		},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DiffEngines runs the Case through the fast engine and the dense
+// reference engine and returns an error unless the Results are
+// bit-identical. It is the differential-testing oracle: any divergence —
+// a flag, a counter, a per-node slice entry — fails. On success it
+// returns the fast engine's Result (nil when both engines rejected the
+// config) so callers can inspect the case mix without a third run.
+func DiffEngines(c Case) (*sim.Result, error) {
+	fast, fastErr := sim.Run(c.Build())
+	dense, denseErr := ref.Run(c.Build())
+	if (fastErr != nil) != (denseErr != nil) {
+		return nil, fmt.Errorf("%s: error divergence: fast=%v dense=%v", c.Desc, fastErr, denseErr)
+	}
+	if fastErr != nil {
+		return nil, nil // both rejected the config identically enough
+	}
+	if err := DiffResults(fast, dense); err != nil {
+		return nil, fmt.Errorf("%s: %w", c.Desc, err)
+	}
+	return fast, nil
+}
+
+// RefRun runs a config through the dense reference engine.
+func RefRun(cfg sim.Config) (*sim.Result, error) { return ref.Run(cfg) }
+
+// DiffResults compares two Results field by field, reporting the first
+// mismatch by name (reflect.DeepEqual alone would report "not equal").
+func DiffResults(fast, dense *sim.Result) error {
+	fv := reflect.ValueOf(*fast)
+	dv := reflect.ValueOf(*dense)
+	tp := fv.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		f, d := fv.Field(i).Interface(), dv.Field(i).Interface()
+		if ff, ok := f.(float64); ok {
+			// Float fields are derived from identical integer state by an
+			// identical expression; require bit equality, not closeness.
+			if math.Float64bits(ff) != math.Float64bits(d.(float64)) {
+				return fmt.Errorf("field %s: fast %v vs dense %v", tp.Field(i).Name, f, d)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(f, d) {
+			return fmt.Errorf("field %s: fast %v vs dense %v", tp.Field(i).Name, f, d)
+		}
+	}
+	return nil
+}

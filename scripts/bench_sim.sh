@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# bench_sim.sh — run the engine sweep benchmarks (sparse fast path vs the
+# dense sim/ref baseline, plus the harness parallel variant) and emit
+# BENCH_sim.json, the machine-readable record the CI bench job uploads
+# and the repo checks in as the perf trajectory across PRs.
+#
+# Usage: scripts/bench_sim.sh [benchtime] [output]
+#   benchtime  go test -benchtime value (default 10x: the sweep is
+#              deterministic, so fixed iteration counts are comparable)
+#   output     output path (default BENCH_sim.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-10x}"
+OUT="${2:-BENCH_sim.json}"
+
+go build -o /tmp/benchjson ./cmd/benchjson
+go test -run '^$' \
+  -bench 'BenchmarkSweep45(Sequential|Parallel|DenseRef|Runner)$' \
+  -benchmem -benchtime "$BENCHTIME" . | tee /dev/stderr | /tmp/benchjson > "$OUT"
+echo "wrote $OUT" >&2
