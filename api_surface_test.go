@@ -1,0 +1,175 @@
+package bftbcast_test
+
+// The public-API golden surface test: a go-doc-style snapshot of every
+// exported identifier of package bftbcast — types (with their exported
+// struct fields), functions, methods, constants and variables — is
+// checked against testdata/api_surface.txt, so an accidental facade
+// change (a renamed option, a dropped Report field, a signature edit)
+// fails loudly in review. Regenerate after an intentional change with:
+//
+//	go test . -run TestAPISurface -update
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateSurface = flag.Bool("update", false, "rewrite testdata/api_surface.txt")
+
+// apiSurface renders the exported surface of the package in the current
+// directory, one identifier per line, sorted.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["bftbcast"]
+	if !ok {
+		t.Fatalf("package bftbcast not found (got %v)", pkgs)
+	}
+
+	exprStr := func(e ast.Expr) string {
+		var sb strings.Builder
+		if err := printer.Fprint(&sb, fset, e); err != nil {
+			t.Fatal(err)
+		}
+		// Normalize whitespace so multi-line signatures stay one line.
+		return strings.Join(strings.Fields(sb.String()), " ")
+	}
+
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				sig := strings.TrimPrefix(exprStr(d.Type), "func")
+				if d.Recv != nil {
+					recv := exprStr(d.Recv.List[0].Type)
+					base := strings.TrimPrefix(recv, "*")
+					if !ast.IsExported(base) {
+						continue
+					}
+					add("method (%s) %s%s", recv, d.Name.Name, sig)
+				} else {
+					add("func %s%s", d.Name.Name, sig)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								add("%s %s", kind, name.Name)
+							}
+						}
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						switch u := s.Type.(type) {
+						case *ast.StructType:
+							add("type %s struct", s.Name.Name)
+							for _, f := range u.Fields.List {
+								for _, fn := range f.Names {
+									if fn.IsExported() {
+										add("field %s.%s %s", s.Name.Name, fn.Name, exprStr(f.Type))
+									}
+								}
+								if len(f.Names) == 0 { // embedded
+									add("field %s.(embedded) %s", s.Name.Name, exprStr(f.Type))
+								}
+							}
+						case *ast.InterfaceType:
+							add("type %s interface", s.Name.Name)
+							for _, m := range u.Methods.List {
+								for _, mn := range m.Names {
+									if mn.IsExported() {
+										sig := strings.TrimPrefix(exprStr(m.Type), "func")
+										add("method (%s) %s%s", s.Name.Name, mn.Name, sig)
+									}
+								}
+							}
+						default:
+							if s.Assign.IsValid() {
+								add("type %s = %s", s.Name.Name, exprStr(s.Type))
+							} else {
+								add("type %s %s", s.Name.Name, exprStr(s.Type))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	path := filepath.Join("testdata", "api_surface.txt")
+	if *updateSurface {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", path, strings.Count(got, "\n"))
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing API surface snapshot (regenerate with -update): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(want, "\n")
+	gotSet := make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	var diff []string
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			diff = append(diff, "- "+l)
+		}
+	}
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			diff = append(diff, "+ "+l)
+		}
+	}
+	t.Fatalf("public API surface changed (run with -update if intentional):\n%s", strings.Join(diff, "\n"))
+}

@@ -11,6 +11,7 @@ package bftbcast_test
 // as a full reproduction check.
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"testing"
@@ -145,6 +146,30 @@ func BenchmarkSweep45DenseRef(b *testing.B) { benchSweep45(b, 1, ref.Run) }
 func BenchmarkSweep45Runner(b *testing.B) {
 	r := sim.NewRunner()
 	benchSweep45(b, 1, r.Run)
+}
+
+// BenchmarkSweep45Scenario is the same sweep through the public
+// Scenario/Engine adapter (EngineFast.Run), including per-point Scenario
+// construction and Report wrapping: the guard that the API redesign adds
+// <2% overhead over direct sim.Run (BenchmarkSweep45Sequential).
+func BenchmarkSweep45Scenario(b *testing.B) {
+	ctx := context.Background()
+	benchSweep45(b, 1, func(cfg bftbcast.SimConfig) (*bftbcast.SimResult, error) {
+		sc, err := bftbcast.NewScenario(
+			bftbcast.WithTopology(cfg.Topo),
+			bftbcast.WithParams(cfg.Params),
+			bftbcast.WithSpec(cfg.Spec),
+			bftbcast.WithAdversary(cfg.Placement, cfg.Strategy),
+		)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := bftbcast.EngineFast.Run(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Sim, nil
+	})
 }
 
 // --- Micro-benchmarks of the core primitives ---

@@ -25,17 +25,34 @@
 //     the paper (see EXPERIMENTS.md), parallelized over a
 //     deterministic worker pool.
 //
+// # API layering
+//
+// A backend-neutral Scenario (topology, fault model, protocol,
+// adversary, seed, limits) is executed by an Engine — one of the four
+// backends EngineFast, EngineRef, EngineActor, EngineReactive — into a
+// unified Report; an Observer streams slot/send/deliver/decide events;
+// Sweep runs many Scenarios over a deterministic worker pool with a
+// streaming results channel. See DESIGN.md §8.
+//
 // Quick start:
 //
 //	tor, _ := bftbcast.NewTorus(20, 20, 2)
 //	params := bftbcast.Params{R: 2, T: 3, MF: 2}
 //	spec, _ := bftbcast.NewProtocolB(params)
-//	res, _ := bftbcast.RunSim(bftbcast.SimConfig{
-//		Topo: tor, Params: params, Spec: spec,
-//		Placement: bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 1},
-//		Strategy:  bftbcast.NewCorruptor(),
-//	})
-//	fmt.Println(res.Completed, res.AvgGoodSends)
+//	sc, _ := bftbcast.NewScenario(
+//		bftbcast.WithTopology(tor),
+//		bftbcast.WithParams(params),
+//		bftbcast.WithSpec(spec),
+//		bftbcast.WithAdversary(
+//			bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 1},
+//			bftbcast.NewCorruptor(),
+//		),
+//	)
+//	rep, _ := bftbcast.EngineFast.Run(context.Background(), sc)
+//	fmt.Println(rep.Completed, rep.AvgGoodSends)
+//
+// The pre-Scenario entry points (RunSim, RunActor, RunReactive and
+// their Config types) remain as thin deprecated wrappers.
 package bftbcast
 
 import (
@@ -92,19 +109,31 @@ const (
 // Simulation types.
 type (
 	// SimConfig configures a slot-level simulation run.
+	//
+	// Deprecated: describe runs with a Scenario (NewScenario) and
+	// execute them through an Engine.
 	SimConfig = sim.Config
-	// SimResult is its outcome.
+	// SimResult is the slot-level engines' outcome; it doubles as the
+	// Report.Sim extension.
 	SimResult = sim.Result
 	// SimRunner is a reusable simulation engine: state is allocated once
 	// and reset-and-reused across runs (see NewSimRunner).
 	SimRunner = sim.Runner
 	// ActorConfig configures the concurrent (goroutine-per-node) run.
+	//
+	// Deprecated: describe runs with a Scenario (NewScenario) and
+	// execute them through EngineActor.
 	ActorConfig = actor.Config
-	// ActorResult is its outcome.
+	// ActorResult is the actor runtime's outcome; it doubles as the
+	// Report.Actor extension.
 	ActorResult = actor.Result
 	// ReactiveConfig configures a Breactive (unknown-mf) run.
+	//
+	// Deprecated: describe runs with a Scenario (NewScenario plus
+	// WithReactive) and execute them through EngineReactive.
 	ReactiveConfig = reactive.Config
-	// ReactiveResult is its outcome.
+	// ReactiveResult is the reactive runtime's outcome; it doubles as
+	// the Report.Reactive extension.
 	ReactiveResult = reactive.Result
 	// AttackPolicy selects the reactive adversary's behavior.
 	AttackPolicy = reactive.AttackPolicy
@@ -197,24 +226,39 @@ func NewSpammer() Strategy { return adversary.NewSpammer() }
 
 // RunSim executes a slot-level simulation (see SimConfig) through the
 // sparse fast engine, drawing a reusable runner from an internal pool.
+//
+// Deprecated: use EngineFast.Run with a Scenario, which adds context
+// cancellation and the unified Report. RunSim remains a thin wrapper
+// with identical behavior.
 func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
 // RunSimRef executes the same simulation through the dense reference
 // engine (internal/sim/ref): slower, deliberately simple, and verified
 // bit-identical to RunSim by the differential-testing oracle. Useful for
 // cross-checking when debugging engine behavior (bftsim -engine ref).
+//
+// Deprecated: use EngineRef.Run with a Scenario. RunSimRef remains a
+// thin wrapper with identical behavior.
 func RunSimRef(cfg SimConfig) (*SimResult, error) { return ref.Run(cfg) }
 
 // NewSimRunner returns a dedicated reusable simulation engine for tight
 // sweep loops where even pooled-runner handoff matters; most callers can
-// just use RunSim.
+// just use EngineFast (or the Sweep harness).
 func NewSimRunner() *SimRunner { return sim.NewRunner() }
 
 // RunActor executes the fault-free concurrent runtime (see ActorConfig).
+//
+// Deprecated: use EngineActor.Run with a Scenario, which adds context
+// cancellation (with goroutine teardown) and the unified Report.
+// RunActor remains a thin wrapper with identical behavior.
 func RunActor(cfg ActorConfig) (*ActorResult, error) { return actor.Run(cfg) }
 
 // RunReactive executes protocol Breactive with the AUED code (unknown
 // mf; see ReactiveConfig).
+//
+// Deprecated: use EngineReactive.Run with a Scenario (WithReactive for
+// the coding and policy knobs). RunReactive remains a thin wrapper with
+// identical behavior.
 func RunReactive(cfg ReactiveConfig) (*ReactiveResult, error) { return reactive.Run(cfg) }
 
 // NewCode builds the Section 5 two-level AUED code for k-bit payloads.

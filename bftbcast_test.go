@@ -1,5 +1,12 @@
 package bftbcast_test
 
+// Facade coverage, including the deprecated pre-Scenario entry points
+// (RunSim, RunSimRef, RunActor, RunReactive and their Config types):
+// the wrappers must keep compiling and delegating with no behavior
+// change. CI's staticcheck runs with -tests=false, so the intentional
+// deprecated calls here are not flagged; non-test code must use the
+// Scenario/Engine API.
+
 import (
 	"testing"
 

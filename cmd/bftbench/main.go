@@ -1,9 +1,12 @@
 // Command bftbench runs the experiment suite E1–E11 that regenerates the
-// paper's quantitative results and prints the resulting tables.
+// paper's quantitative results and prints the resulting tables, or — with
+// -sweep — a custom protocol-B density sweep through the public
+// Scenario/Engine/Sweep API, streaming each point as it completes.
 //
 // Usage:
 //
 //	bftbench [-experiment E2] [-quick] [-seed 42] [-parallel] [-workers N]
+//	bftbench -sweep 12 [-engine fast] [-workers N] [-seed 42]
 //
 // With -parallel the experiments and their inner sweep points run on a
 // pool of runtime.NumCPU() workers (override with -workers). Every run
@@ -12,11 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
+	"bftbcast"
 	"bftbcast/internal/exper"
 )
 
@@ -32,8 +37,14 @@ func run() error {
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	seed := flag.Uint64("seed", 42, "random seed")
 	parallel := flag.Bool("parallel", false, "run experiments and sweep points on a worker pool")
-	workers := flag.Int("workers", 0, "worker pool size with -parallel (0 = NumCPU)")
+	workers := flag.Int("workers", 0, "worker pool size with -parallel or -sweep (0 = NumCPU)")
+	sweepN := flag.Int("sweep", 0, "instead of the experiment suite, run an n-point protocol-B density sweep through the public Sweep API")
+	engineName := flag.String("engine", "fast", "execution backend for -sweep: fast | ref | actor | reactive")
 	flag.Parse()
+
+	if *sweepN > 0 {
+		return runSweep(*sweepN, *engineName, *workers, *seed)
+	}
 
 	opts := exper.Options{Quick: *quick, Seed: *seed}
 	if *parallel {
@@ -68,6 +79,65 @@ func run() error {
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}
+
+// runSweep demonstrates the public harness: an n-point bad-density sweep
+// of protocol B on a 20×20 torus, streamed in order as points complete
+// on the deterministic worker pool.
+func runSweep(n int, engineName string, workers int, seed uint64) error {
+	engine, err := bftbcast.NewEngine(engineName)
+	if err != nil {
+		return err
+	}
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	tor, err := bftbcast.NewTorus(20, 20, params.R)
+	if err != nil {
+		return err
+	}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		return err
+	}
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+	)
+	if err != nil {
+		return err
+	}
+
+	densities := make([]float64, n)
+	scenarios := make([]*bftbcast.Scenario, n)
+	for i := range scenarios {
+		densities[i] = 0.01 * float64(i)
+		opts := []bftbcast.ScenarioOption{bftbcast.WithSeed(seed + uint64(i))}
+		if densities[i] > 0 && engineName != "actor" {
+			placement := bftbcast.RandomPlacement{T: params.T, Density: densities[i], Seed: seed + uint64(i)}
+			if engineName == "reactive" {
+				opts = append(opts, bftbcast.WithPlacement(placement))
+			} else {
+				opts = append(opts, bftbcast.WithAdversary(placement, bftbcast.NewCorruptor()))
+			}
+		}
+		scenarios[i], err = base.With(opts...)
+		if err != nil {
+			return err
+		}
+	}
+
+	sweep := bftbcast.Sweep{Engine: engine, Workers: workers, Scenarios: scenarios}
+	fmt.Printf("== sweep: protocol B on %v, engine=%s, %d densities, %d workers\n",
+		tor, engine.Name(), n, workers)
+	for pt := range sweep.Stream(context.Background()) {
+		if pt.Err != nil {
+			return fmt.Errorf("point %d (density %.2f): %w", pt.Index, densities[pt.Index], pt.Err)
+		}
+		rep := pt.Report
+		fmt.Printf("density=%.2f bad=%-3d completed=%-5v slots=%-5d avgSends=%.2f wrong=%d\n",
+			densities[pt.Index], rep.BadCount, rep.Completed, rep.Slots, rep.AvgGoodSends, rep.WrongDecisions)
 	}
 	return nil
 }

@@ -1,22 +1,29 @@
-// Command bftsim runs one broadcast simulation from command-line flags
-// and prints the outcome, optionally tracing acceptances as JSON Lines.
+// Command bftsim runs one broadcast scenario from command-line flags on
+// a selectable execution backend and prints the unified report,
+// optionally tracing acceptances as JSON Lines.
+//
+// All four backends run through the same Scenario/Engine code path:
+// -engine fast (sparse simulation, default), -engine ref (dense
+// reference, for cross-checks), -engine actor (goroutine-per-node,
+// fault-free), -engine reactive (Section 5, unknown mf).
 //
 // Examples:
 //
 //	bftsim -w 20 -h 20 -r 2 -t 3 -mf 2 -adversary random -density 0.1
 //	bftsim -w 45 -h 45 -r 4 -t 1 -mf 1000 -protocol full -m 59 -adversary figure2
-//	bftsim -w 15 -h 15 -r 2 -t 1 -mf 3 -protocol reactive -policy disrupt
-//	bftsim -topology grid -w 20 -h 20 -r 2 -t 2 -mf 2 -adversary random
-//	bftsim -topology rgg -n 300 -t 1 -mf 2 -adversary random
+//	bftsim -engine reactive -w 15 -h 15 -r 2 -t 1 -mf 3 -policy disrupt
+//	bftsim -engine actor -topology grid -w 20 -h 20 -r 2 -t 2 -mf 2
+//	bftsim -engine ref -topology rgg -n 300 -t 1 -mf 2 -adversary random
+//	bftsim -timeout 5s -w 45 -h 45 -r 4 -t 2 -mf 64 -adversary random
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"bftbcast"
-	"bftbcast/internal/trace"
 )
 
 func main() {
@@ -28,25 +35,34 @@ func main() {
 
 func run() error {
 	var (
-		topology  = flag.String("topology", "torus", "topology: torus | grid (bounded, border effects) | rgg (random geometric graph)")
-		w         = flag.Int("w", 20, "grid width (torus: multiple of 2r+1)")
-		h         = flag.Int("h", 20, "grid height (torus: multiple of 2r+1)")
-		r         = flag.Int("r", 2, "radio range (grid topologies; rgg always uses hop range 1)")
-		n         = flag.Int("n", 0, "rgg node count (0 = w*h)")
-		t         = flag.Int("t", 3, "max bad nodes per neighborhood")
-		mf        = flag.Int("mf", 2, "bad node message budget")
-		protocol  = flag.String("protocol", "b", "protocol: b | bheter | koo | full | reactive")
-		m         = flag.Int("m", 0, "budget for -protocol full")
-		adv       = flag.String("adversary", "none", "adversary: none | random | sandwich | figure2 (sandwich/figure2 are torus constructions)")
-		density   = flag.Float64("density", 0.1, "bad density for -adversary random")
-		seed      = flag.Uint64("seed", 1, "random seed (also drives the rgg layout)")
-		policy    = flag.String("policy", "disrupt", "reactive attack policy: disrupt|forge|nackspam|mixed")
-		mmax      = flag.Int("mmax", 64, "loose budget bound known to the reactive protocol")
-		k         = flag.Int("k", 16, "payload bits for the reactive protocol")
-		traceFlag = flag.Bool("trace", false, "emit acceptance events as JSON lines")
-		engine    = flag.String("engine", "fast", "simulation engine: fast (sparse) | ref (dense reference, for cross-checks)")
+		engineName = flag.String("engine", "fast", "execution backend: fast | ref | actor | reactive")
+		topology   = flag.String("topology", "torus", "topology: torus | grid (bounded, border effects) | rgg (random geometric graph)")
+		w          = flag.Int("w", 20, "grid width (torus: multiple of 2r+1)")
+		h          = flag.Int("h", 20, "grid height (torus: multiple of 2r+1)")
+		r          = flag.Int("r", 2, "radio range (grid topologies; rgg always uses hop range 1)")
+		n          = flag.Int("n", 0, "rgg node count (0 = w*h)")
+		t          = flag.Int("t", 3, "max bad nodes per neighborhood")
+		mf         = flag.Int("mf", 2, "bad node message budget")
+		protocol   = flag.String("protocol", "b", "protocol: b | bheter | koo | full | reactive (alias for -engine reactive)")
+		m          = flag.Int("m", 0, "budget for -protocol full")
+		adv        = flag.String("adversary", "none", "adversary: none | random | sandwich | figure2 (sandwich/figure2 are torus constructions)")
+		density    = flag.Float64("density", 0.1, "bad density for -adversary random")
+		seed       = flag.Uint64("seed", 1, "random seed (also drives the rgg layout)")
+		policy     = flag.String("policy", "disrupt", "reactive attack policy: disrupt|forge|nackspam|mixed")
+		mmax       = flag.Int("mmax", 64, "loose budget bound known to the reactive protocol")
+		k          = flag.Int("k", 16, "payload bits for the reactive protocol")
+		traceFlag  = flag.Bool("trace", false, "emit acceptance events as JSON lines")
+		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
 	)
 	flag.Parse()
+
+	if *protocol == "reactive" {
+		*engineName = "reactive"
+	}
+	engine, err := bftbcast.NewEngine(*engineName)
+	if err != nil {
+		return err
+	}
 
 	tp, err := bftbcast.NewTopology(bftbcast.TopologySpec{
 		Kind: *topology, W: *w, H: *h, R: *r, Nodes: *n, Seed: *seed,
@@ -54,129 +70,158 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *protocol == "reactive" {
-		return runReactive(tp, *t, *mf, *mmax, *k, *adv, *density, *seed, *policy)
-	}
 
 	// The fault-model range follows the topology (an rgg always has hop
 	// range 1, whatever -r says).
 	params := bftbcast.Params{R: tp.Range(), T: *t, MF: *mf}
-	var spec bftbcast.Spec
-	switch *protocol {
-	case "b":
-		spec, err = bftbcast.NewProtocolB(params)
-	case "bheter":
-		tor, ok := tp.(*bftbcast.Torus)
-		if !ok {
-			return fmt.Errorf("-protocol bheter is a torus construction (got -topology %s)", *topology)
-		}
-		spec, err = bftbcast.NewBheter(params, tor, bftbcast.Cross{Center: tor.ID(0, 0), HalfWidth: *r})
-	case "koo":
-		spec, err = bftbcast.NewKooBaseline(params)
-	case "full":
-		if *m <= 0 {
-			return fmt.Errorf("-protocol full needs -m")
-		}
-		spec, err = bftbcast.NewFullBudget(params, *m)
-	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
-	}
-	if err != nil {
-		return err
+	opts := []bftbcast.ScenarioOption{
+		bftbcast.WithTopology(tp),
+		bftbcast.WithParams(params),
+		bftbcast.WithSeed(*seed),
 	}
 
-	cfg := bftbcast.SimConfig{Topo: tp, Params: params, Spec: spec, Source: 0}
-	switch *adv {
-	case "none":
-	case "random":
-		cfg.Placement = bftbcast.RandomPlacement{T: *t, Density: *density, Seed: *seed}
-		cfg.Strategy = bftbcast.NewCorruptor()
-	case "sandwich":
-		tor, ok := tp.(*bftbcast.Torus)
-		if !ok {
-			return fmt.Errorf("-adversary sandwich is a torus construction (got -topology %s)", *topology)
+	if engine.Name() == "reactive" {
+		pol, err := parsePolicy(*policy)
+		if err != nil {
+			return err
 		}
-		sw := bftbcast.SandwichPlacement{YLow: *h/3 + 1, YHigh: *h/3 + 1 + 3**r, T: *t}
-		cfg.Placement = sw
-		cfg.Strategy = bftbcast.NewTargeted(sw.VictimBand(tor))
-	case "figure2":
-		tor, ok := tp.(*bftbcast.Torus)
-		if !ok {
-			return fmt.Errorf("-adversary figure2 is a torus construction (got -topology %s)", *topology)
+		opts = append(opts, bftbcast.WithReactive(bftbcast.ReactiveSpec{
+			MMax: *mmax, PayloadBits: *k, Policy: pol,
+		}))
+		if *adv == "random" {
+			opts = append(opts, bftbcast.WithPlacement(
+				bftbcast.RandomPlacement{T: *t, Density: *density, Seed: *seed}))
 		}
-		cfg.Placement = bftbcast.LatticePlacement{Offsets: [][2]int{{*r, -*r}}}
-		victims := make([]bool, tor.Size())
-		for _, pr := range [][2]int{
-			{*r + 1, 1}, {1, *r + 1}, {*r + 1, -1}, {1, -(*r + 1)},
-			{-(*r + 1), 1}, {-1, *r + 1}, {-(*r + 1), -1}, {-1, -(*r + 1)},
-		} {
-			victims[tor.ID(pr[0], pr[1])] = true
+	} else {
+		spec, err := buildSpec(*protocol, params, tp, *topology, *m)
+		if err != nil {
+			return err
 		}
-		cfg.Strategy = bftbcast.NewTargeted(victims)
-	default:
-		return fmt.Errorf("unknown adversary %q", *adv)
+		opts = append(opts, bftbcast.WithSpec(spec))
+		advOpt, err := buildAdversary(*adv, tp, *topology, params, *density, *seed, *h, *r)
+		if err != nil {
+			return err
+		}
+		if advOpt != nil {
+			opts = append(opts, advOpt)
+		}
 	}
 
-	var rec trace.Recorder = trace.Nop{}
+	var tracer *bftbcast.TraceObserver
 	if *traceFlag {
-		rec = trace.NewJSONL(os.Stdout)
-		cfg.OnAccept = func(slot int, id bftbcast.NodeID, v bftbcast.Value) {
-			_ = rec.Record(trace.Event{Slot: slot, Node: int32(id), Kind: trace.KindAccept, Value: int32(v)})
-		}
+		tracer = bftbcast.NewTraceObserver(os.Stdout)
+		opts = append(opts, bftbcast.WithObserver(tracer))
 	}
 
-	runSim := bftbcast.RunSim
-	switch *engine {
-	case "fast":
-	case "ref":
-		runSim = bftbcast.RunSimRef
-	default:
-		return fmt.Errorf("unknown engine %q (want fast or ref)", *engine)
-	}
-	res, err := runSim(cfg)
+	sc, err := bftbcast.NewScenario(opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("protocol=%s adversary=%s topology=%q t=%d mf=%d engine=%s\n",
-		spec.Name, *adv, tp, params.T, params.MF, *engine)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := engine.Run(ctx, sc)
+	if err != nil {
+		return err
+	}
+	if tracer != nil {
+		if err := tracer.Finish(rep); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("engine=%s topology=%q t=%d mf=%d\n", rep.Engine, tp, params.T, params.MF)
 	fmt.Printf("completed=%v stalled=%v timedOut=%v slots=%d\n",
-		res.Completed, res.Stalled, res.TimedOut, res.Slots)
-	fmt.Printf("decided=%d/%d wrongDecisions=%d\n", res.DecidedGood, res.TotalGood, res.WrongDecisions)
+		rep.Completed, rep.Stalled, rep.TimedOut, rep.Slots)
+	fmt.Printf("decided=%d/%d wrongDecisions=%d\n", rep.DecidedGood, rep.TotalGood, rep.WrongDecisions)
 	fmt.Printf("goodMessages=%d badMessages=%d avgSends=%.2f maxSends=%d\n",
-		res.GoodMessages, res.BadMessages, res.AvgGoodSends, res.MaxGoodSends)
+		rep.GoodMessages, rep.BadMessages, rep.AvgGoodSends, rep.MaxGoodSends)
+	if rr := rep.Reactive; rr != nil {
+		fmt.Printf("reactive: rounds=%d forged=%d L=%d K=%d maxMsgs/node=%d (bound %d) maxSubSlots=%d (Theorem4 %d)\n",
+			rr.MessageRounds, rr.ForgedDeliveries, rr.SubBitLength, rr.CodewordBits,
+			rr.MaxNodeMessages, 2*(params.T*params.MF+1), rr.MaxNodeSubSlots, rr.Theorem4SubSlots)
+	}
 	return nil
 }
 
-func runReactive(tp bftbcast.Topology, t, mf, mmax, k int, adv string, density float64, seed uint64, policy string) error {
-	var pol bftbcast.AttackPolicy
+// buildSpec resolves the -protocol flag for the slot-level and actor
+// backends.
+func buildSpec(protocol string, params bftbcast.Params, tp bftbcast.Topology, topology string, m int) (bftbcast.Spec, error) {
+	switch protocol {
+	case "b":
+		return bftbcast.NewProtocolB(params)
+	case "bheter":
+		tor, ok := tp.(*bftbcast.Torus)
+		if !ok {
+			return bftbcast.Spec{}, fmt.Errorf("-protocol bheter is a torus construction (got -topology %s)", topology)
+		}
+		return bftbcast.NewBheter(params, tor, bftbcast.Cross{Center: tor.ID(0, 0), HalfWidth: params.R})
+	case "koo":
+		return bftbcast.NewKooBaseline(params)
+	case "full":
+		if m <= 0 {
+			return bftbcast.Spec{}, fmt.Errorf("-protocol full needs -m")
+		}
+		return bftbcast.NewFullBudget(params, m)
+	default:
+		return bftbcast.Spec{}, fmt.Errorf("unknown protocol %q", protocol)
+	}
+}
+
+// buildAdversary resolves the -adversary flag into a scenario option
+// (nil for -adversary none).
+func buildAdversary(adv string, tp bftbcast.Topology, topology string, params bftbcast.Params, density float64, seed uint64, h, r int) (bftbcast.ScenarioOption, error) {
+	switch adv {
+	case "none":
+		return nil, nil
+	case "random":
+		return bftbcast.WithAdversary(
+			bftbcast.RandomPlacement{T: params.T, Density: density, Seed: seed},
+			bftbcast.NewCorruptor(),
+		), nil
+	case "sandwich":
+		tor, ok := tp.(*bftbcast.Torus)
+		if !ok {
+			return nil, fmt.Errorf("-adversary sandwich is a torus construction (got -topology %s)", topology)
+		}
+		sw := bftbcast.SandwichPlacement{YLow: h/3 + 1, YHigh: h/3 + 1 + 3*r, T: params.T}
+		return bftbcast.WithAdversary(sw, bftbcast.NewTargeted(sw.VictimBand(tor))), nil
+	case "figure2":
+		tor, ok := tp.(*bftbcast.Torus)
+		if !ok {
+			return nil, fmt.Errorf("-adversary figure2 is a torus construction (got -topology %s)", topology)
+		}
+		victims := make([]bool, tor.Size())
+		for _, pr := range [][2]int{
+			{r + 1, 1}, {1, r + 1}, {r + 1, -1}, {1, -(r + 1)},
+			{-(r + 1), 1}, {-1, r + 1}, {-(r + 1), -1}, {-1, -(r + 1)},
+		} {
+			victims[tor.ID(pr[0], pr[1])] = true
+		}
+		return bftbcast.WithAdversary(
+			bftbcast.LatticePlacement{Offsets: [][2]int{{r, -r}}},
+			bftbcast.NewTargeted(victims),
+		), nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", adv)
+	}
+}
+
+func parsePolicy(policy string) (bftbcast.AttackPolicy, error) {
 	switch policy {
 	case "disrupt":
-		pol = bftbcast.PolicyDisrupt
+		return bftbcast.PolicyDisrupt, nil
 	case "forge":
-		pol = bftbcast.PolicyForge
+		return bftbcast.PolicyForge, nil
 	case "nackspam":
-		pol = bftbcast.PolicyNackSpam
+		return bftbcast.PolicyNackSpam, nil
 	case "mixed":
-		pol = bftbcast.PolicyMixed
+		return bftbcast.PolicyMixed, nil
 	default:
-		return fmt.Errorf("unknown policy %q", policy)
+		return 0, fmt.Errorf("unknown policy %q", policy)
 	}
-	cfg := bftbcast.ReactiveConfig{
-		Topo: tp, T: t, MF: mf, MMax: mmax, PayloadBits: k,
-		Source: 0, Policy: pol, Seed: seed,
-	}
-	if adv == "random" {
-		cfg.Placement = bftbcast.RandomPlacement{T: t, Density: density, Seed: seed}
-	}
-	res, err := bftbcast.RunReactive(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("protocol=Breactive topology=%q policy=%s t=%d mf=%d mmax=%d k=%d L=%d K=%d\n",
-		tp, pol, t, mf, mmax, k, res.SubBitLength, res.CodewordBits)
-	fmt.Printf("completed=%v decided=%d/%d wrong=%d forged=%d\n",
-		res.Completed, res.DecidedGood, res.TotalGood, res.WrongDecisions, res.ForgedDeliveries)
-	fmt.Printf("rounds=%d maxMsgs/node=%d (bound %d) maxSubSlots=%d (Theorem4 %d)\n",
-		res.MessageRounds, res.MaxNodeMessages, 2*(t*mf+1), res.MaxNodeSubSlots, res.Theorem4SubSlots)
-	return nil
 }

@@ -1,0 +1,209 @@
+package bftbcast
+
+import (
+	"context"
+	"fmt"
+
+	"bftbcast/internal/actor"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/radio"
+	"bftbcast/internal/reactive"
+	"bftbcast/internal/sim"
+	"bftbcast/internal/sim/ref"
+)
+
+// Engine executes a backend-neutral Scenario. Four implementations are
+// provided: EngineFast (the sparse slot-level simulation engine),
+// EngineRef (the dense reference engine, verified bit-identical to
+// EngineFast by the differential oracle), EngineActor (the
+// goroutine-per-node concurrent runtime, fault-free only), and
+// EngineReactive (the Section 5 unknown-mf runtime).
+type Engine interface {
+	// Name identifies the engine ("fast", "ref", "actor", "reactive").
+	Name() string
+	// Run executes the scenario. Cancellation is cooperative: every
+	// backend checks ctx once per slot (or message round) and returns
+	// ctx.Err() when it fires, honoring deadlines; the actor backend
+	// additionally tears down its node goroutines before returning.
+	Run(ctx context.Context, sc *Scenario) (*Report, error)
+}
+
+// The four execution backends.
+var (
+	// EngineFast is the sparse slot-level simulation engine (the
+	// production path; reuses pooled engine state across runs).
+	EngineFast Engine = fastEngine{}
+	// EngineRef is the dense reference engine: slower, deliberately
+	// simple, verified bit-identical to EngineFast.
+	EngineRef Engine = refEngine{}
+	// EngineActor is the goroutine-per-node concurrent runtime. It is
+	// fault-free only and rejects scenarios with an adversary.
+	EngineActor Engine = actorEngine{}
+	// EngineReactive is the Section 5 runtime for unknown adversary
+	// budgets (AUED coding + NACK-driven retransmission + certified
+	// propagation). The adversary is selected by Reactive.Policy, not by
+	// a Strategy.
+	EngineReactive Engine = reactiveEngine{}
+)
+
+// Engines returns the four execution backends.
+func Engines() []Engine {
+	return []Engine{EngineFast, EngineRef, EngineActor, EngineReactive}
+}
+
+// NewEngine resolves a backend by name ("fast", "ref", "actor",
+// "reactive"); it backs the -engine flag of cmd/bftsim.
+func NewEngine(name string) (Engine, error) {
+	for _, e := range Engines() {
+		if e.Name() == name {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("bftbcast: unknown engine %q (want fast, ref, actor or reactive)", name)
+}
+
+// simConfig lowers a Scenario to the slot-level engines' config,
+// including the Observer-to-callback bridge.
+func simConfig(sc *Scenario) sim.Config {
+	cfg := sim.Config{
+		Topo:      sc.Topo,
+		Params:    sc.Params,
+		Spec:      sc.Spec,
+		Source:    sc.Source,
+		Placement: sc.Placement,
+		Strategy:  sc.Strategy,
+		MaxSlots:  sc.MaxSlots,
+	}
+	if obs := sc.Observer; obs != nil {
+		cfg.OnSlotStart = obs.SlotStart
+		cfg.OnSend = func(slot int, from grid.NodeID, v radio.Value, adversarial bool) {
+			obs.Send(slot, from, v, adversarial)
+		}
+		cfg.OnDeliver = func(slot int, d radio.Delivery) { obs.Deliver(slot, d.From, d.To, d.Value) }
+		cfg.OnAccept = func(slot int, id grid.NodeID, v radio.Value) { obs.Decide(slot, id, v) }
+	}
+	return cfg
+}
+
+type fastEngine struct{}
+
+// Name implements Engine.
+func (fastEngine) Name() string { return "fast" }
+
+// Run implements Engine.
+func (fastEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
+	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunContext(ctx, simConfig(sc))
+	if err != nil {
+		return nil, err
+	}
+	return reportFromSim("fast", res), nil
+}
+
+type refEngine struct{}
+
+// Name implements Engine.
+func (refEngine) Name() string { return "ref" }
+
+// Run implements Engine.
+func (refEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
+	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	res, err := ref.RunContext(ctx, simConfig(sc))
+	if err != nil {
+		return nil, err
+	}
+	return reportFromSim("ref", res), nil
+}
+
+type actorEngine struct{}
+
+// Name implements Engine.
+func (actorEngine) Name() string { return "actor" }
+
+// Run implements Engine.
+func (actorEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
+	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if sc.Placement != nil || sc.Strategy != nil {
+		return nil, fmt.Errorf("bftbcast: the actor engine is fault-free; run adversarial scenarios on the fast or ref engine")
+	}
+	cfg := actor.Config{
+		Topo:     sc.Topo,
+		Params:   sc.Params,
+		Spec:     sc.Spec,
+		Source:   sc.Source,
+		MaxSlots: sc.MaxSlots,
+	}
+	if obs := sc.Observer; obs != nil {
+		cfg.OnSlotStart = obs.SlotStart
+		cfg.OnSend = func(slot int, from grid.NodeID, v radio.Value) { obs.Send(slot, from, v, false) }
+		cfg.OnDeliver = func(slot int, d radio.Delivery) { obs.Deliver(slot, d.From, d.To, d.Value) }
+		cfg.OnAccept = func(slot int, id grid.NodeID, v radio.Value) { obs.Decide(slot, id, v) }
+	}
+	res, err := actor.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromActor(res, sc.Source), nil
+}
+
+type reactiveEngine struct{}
+
+// Name implements Engine.
+func (reactiveEngine) Name() string { return "reactive" }
+
+// Run implements Engine.
+func (reactiveEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
+	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if sc.Strategy != nil {
+		return nil, fmt.Errorf("bftbcast: the reactive engine drives bad nodes through Reactive.Policy, not a Strategy")
+	}
+	mmax := sc.Reactive.MMax
+	if mmax == 0 {
+		mmax = 64
+		if sc.Params.MF > mmax {
+			mmax = sc.Params.MF
+		}
+	}
+	payload := sc.Reactive.PayloadBits
+	if payload == 0 {
+		payload = 16
+	}
+	cfg := reactive.Config{
+		Topo:                  sc.Topo,
+		T:                     sc.Params.T,
+		MF:                    sc.Params.MF,
+		MMax:                  mmax,
+		PayloadBits:           payload,
+		Source:                sc.Source,
+		Placement:             sc.Placement,
+		Policy:                sc.Reactive.Policy,
+		Seed:                  sc.Seed,
+		QuietWindow:           sc.Reactive.QuietWindow,
+		MaxRoundsPerBroadcast: sc.Reactive.MaxRoundsPerBroadcast,
+	}
+	if obs := sc.Observer; obs != nil {
+		cfg.OnSlotStart = obs.SlotStart
+		cfg.OnSend = func(round int, from grid.NodeID, v radio.Value, adversarial bool) {
+			obs.Send(round, from, v, adversarial)
+		}
+		cfg.OnDeliver = func(round int, d radio.Delivery) { obs.Deliver(round, d.From, d.To, d.Value) }
+		cfg.OnDecide = func(round int, id grid.NodeID, v radio.Value) { obs.Decide(round, id, v) }
+	}
+	res, err := reactive.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromReactive(res, sc.Source), nil
+}

@@ -1,6 +1,7 @@
 package bftbcast_test
 
 import (
+	"context"
 	"fmt"
 
 	"bftbcast"
@@ -15,7 +16,7 @@ func ExampleM0() {
 }
 
 // ExampleNewProtocolB runs the paper's protocol B on a small fault-free
-// torus.
+// torus through the Scenario/Engine API.
 func ExampleNewProtocolB() {
 	params := bftbcast.Params{R: 2, T: 3, MF: 2}
 	tor, err := bftbcast.NewTorus(20, 20, params.R)
@@ -26,14 +27,65 @@ func ExampleNewProtocolB() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := bftbcast.RunSim(bftbcast.SimConfig{
-		Topo: tor, Params: params, Spec: spec, Source: tor.ID(0, 0),
-	})
+	sc, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+		bftbcast.WithSource(tor.ID(0, 0)),
+	)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(res.Completed, res.WrongDecisions)
+	rep, err := bftbcast.EngineFast.Run(context.Background(), sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Completed, rep.WrongDecisions)
 	// Output: true 0
+}
+
+// ExampleSweep sweeps one Scenario over three adversary seeds on the
+// deterministic worker pool, streaming results in order.
+func ExampleSweep() {
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	tor, err := bftbcast.NewTorus(20, 20, params.R)
+	if err != nil {
+		panic(err)
+	}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		panic(err)
+	}
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+	)
+	if err != nil {
+		panic(err)
+	}
+	var scenarios []*bftbcast.Scenario
+	for seed := uint64(1); seed <= 3; seed++ {
+		sc, err := base.With(bftbcast.WithAdversary(
+			bftbcast.RandomPlacement{T: params.T, Density: 0.05, Seed: seed},
+			bftbcast.NewCorruptor(),
+		))
+		if err != nil {
+			panic(err)
+		}
+		scenarios = append(scenarios, sc)
+	}
+	sweep := bftbcast.Sweep{Workers: 2, Scenarios: scenarios}
+	for pt := range sweep.Stream(context.Background()) {
+		if pt.Err != nil {
+			panic(pt.Err)
+		}
+		fmt.Println(pt.Index, pt.Report.Completed, pt.Report.WrongDecisions)
+	}
+	// Output:
+	// 0 true 0
+	// 1 true 0
+	// 2 true 0
 }
 
 // ExampleNewCode encodes a message with the Section 5 AUED code and shows

@@ -2,9 +2,11 @@
 // the boosted budget m' only to the cross-shaped region through the
 // source and m0 to everyone else, cutting the average budget versus the
 // homogeneous 2m0 of protocol B while still completing under attack.
+// Both protocols run as variants of one base Scenario (Scenario.With).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,6 +35,20 @@ func main() {
 		bftbcast.M0(params.R, params.T, params.MF), heter.Sends(src),
 		tor.CrossSize(cross), tor.Size())
 
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSource(src),
+		bftbcast.WithAdversary(
+			bftbcast.RandomPlacement{T: params.T, Density: 0.05, Seed: 11},
+			bftbcast.NewCorruptor(),
+		),
+		bftbcast.WithSpec(heter),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, tc := range []struct {
 		name string
 		spec bftbcast.Spec
@@ -40,18 +56,20 @@ func main() {
 		{"Bheter (cross m', rest m0)", heter},
 		{"B     (everyone 2m0)     ", homog},
 	} {
-		res, err := bftbcast.RunSim(bftbcast.SimConfig{
-			Topo:      tor,
-			Params:    params,
-			Spec:      tc.spec,
-			Source:    src,
-			Placement: bftbcast.RandomPlacement{T: params.T, Density: 0.05, Seed: 11},
-			Strategy:  bftbcast.NewCorruptor(),
-		})
+		// Strategies are single-run objects, so each variant gets a
+		// fresh corruptor along with its protocol.
+		sc, err := base.With(
+			bftbcast.WithSpec(tc.spec),
+			bftbcast.WithStrategy(bftbcast.NewCorruptor()),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := bftbcast.EngineFast.Run(context.Background(), sc)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s: completed=%-5v avgBudget=%6.2f avgSent=%6.2f\n",
-			tc.name, res.Completed, tc.spec.AverageBudget(tor, src), res.AvgGoodSends)
+			tc.name, rep.Completed, tc.spec.AverageBudget(tor, src), rep.AvgGoodSends)
 	}
 }

@@ -1,9 +1,11 @@
-// Quickstart: run protocol B on a 20×20 torus against a random
-// locally-bounded adversary and print the outcome. This is the minimal
-// end-to-end use of the public API.
+// Quickstart: describe one broadcast scenario — protocol B on a 20×20
+// torus against a random locally-bounded adversary — and run it through
+// the fast engine. This is the minimal end-to-end use of the public
+// Scenario/Engine API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,22 +33,32 @@ func main() {
 		bftbcast.M0(params.R, params.T, params.MF), spec.Sends(0),
 		params.HomogeneousBudget(), spec.Threshold)
 
-	res, err := bftbcast.RunSim(bftbcast.SimConfig{
-		Topo:   tor,
-		Params: params,
-		Spec:   spec,
-		Source: tor.ID(0, 0),
+	// A Scenario is backend-neutral: the same description also runs on
+	// the dense reference engine (bftbcast.EngineRef) or — without the
+	// adversary — the goroutine-per-node runtime (bftbcast.EngineActor).
+	sc, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+		bftbcast.WithSource(tor.ID(0, 0)),
 		// Random bad nodes respecting the t-local bound, driven by the
 		// budget-aware collision adversary.
-		Placement: bftbcast.RandomPlacement{T: params.T, Density: 0.1, Seed: 7},
-		Strategy:  bftbcast.NewCorruptor(),
-	})
+		bftbcast.WithAdversary(
+			bftbcast.RandomPlacement{T: params.T, Density: 0.1, Seed: 7},
+			bftbcast.NewCorruptor(),
+		),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := bftbcast.EngineFast.Run(context.Background(), sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("completed=%v decided=%d/%d wrongDecisions=%d\n",
-		res.Completed, res.DecidedGood, res.TotalGood, res.WrongDecisions)
+		rep.Completed, rep.DecidedGood, rep.TotalGood, rep.WrongDecisions)
 	fmt.Printf("slots=%d goodMessages=%d badMessages=%d avgSends=%.2f\n",
-		res.Slots, res.GoodMessages, res.BadMessages, res.AvgGoodSends)
+		rep.Slots, rep.GoodMessages, rep.BadMessages, rep.AvgGoodSends)
 }

@@ -1,10 +1,12 @@
 // Stripeattack reproduces the paper's impossibility constructions on one
 // torus: the Theorem 1 stripe (as a sandwich, since a single stripe does
 // not disconnect a torus) starves a whole band when good budgets fall
-// below m0, while the same setup completes at m = 2m0 (Theorem 2).
+// below m0, while the same setup completes at m = 2m0 (Theorem 2). The
+// three budget points run as a bftbcast.Sweep streaming its results.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,30 +28,46 @@ func main() {
 	sandwich := bftbcast.SandwichPlacement{YLow: 7, YHigh: 13, T: params.T}
 	victims := sandwich.VictimBand(tor)
 
-	for _, m := range []int{m0 - 4, m0, 2 * m0} {
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSource(tor.ID(0, 0)),
+		bftbcast.WithPlacement(sandwich),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	budgets := []int{m0 - 4, m0, 2 * m0}
+	scenarios := make([]*bftbcast.Scenario, len(budgets))
+	for i, m := range budgets {
 		spec, err := bftbcast.NewFullBudget(params, m)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := bftbcast.RunSim(bftbcast.SimConfig{
-			Topo:      tor,
-			Params:    params,
-			Spec:      spec,
-			Source:    tor.ID(0, 0),
-			Placement: sandwich,
-			Strategy:  bftbcast.NewTargeted(victims),
-		})
+		scenarios[i], err = base.With(
+			bftbcast.WithSpec(spec),
+			bftbcast.WithStrategy(bftbcast.NewTargeted(victims)),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	sweep := bftbcast.Sweep{Scenarios: scenarios}
+	for pt := range sweep.Stream(context.Background()) {
+		if pt.Err != nil {
+			log.Fatal(pt.Err)
+		}
+		rep, m := pt.Report, budgets[pt.Index]
 		blocked := 0
 		for i, v := range victims {
-			if v && !res.Decided[i] {
+			if v && !rep.Decided[i] {
 				blocked++
 			}
 		}
 		fmt.Printf("m=%3d (%.2f*m0): completed=%-5v bandBlocked=%d wrongDecisions=%d adversarySpent=%d\n",
-			m, float64(m)/float64(m0), res.Completed, blocked, res.WrongDecisions, res.BadMessages)
+			m, float64(m)/float64(m0), rep.Completed, blocked, rep.WrongDecisions, rep.BadMessages)
 	}
 	fmt.Println("expected: blocked band below m0, completion at 2m0, and no wrong decisions ever (Lemma 1)")
 }

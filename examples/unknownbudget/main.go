@@ -1,11 +1,12 @@
 // Unknownbudget demonstrates Section 5: when the adversary's budget mf is
 // unknown, protocol Breactive combines the cryptography-free AUED coding
 // scheme with NACK-driven retransmission and certified propagation. The
-// example runs the three attack policies and compares per-node message
-// costs with the Theorem 4 budget.
+// example runs the three attack policies through the reactive engine and
+// compares per-node message costs with the Theorem 4 budget.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,25 +27,33 @@ func main() {
 	fmt.Printf("Breactive on 15x15, t=%d, real mf=%d (hidden), mmax=%d, k=%d; CPA tolerates t < %d\n",
 		t, mf, mmax, k, bftbcast.CPAMaxT(tor.Range())+1)
 
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(bftbcast.Params{R: tor.Range(), T: t, MF: mf}),
+		bftbcast.WithSource(tor.ID(0, 0)),
+		bftbcast.WithPlacement(bftbcast.RandomPlacement{T: t, Density: 0.06, Seed: 13}),
+		bftbcast.WithSeed(17),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, policy := range []bftbcast.AttackPolicy{
 		bftbcast.PolicyDisrupt, bftbcast.PolicyNackSpam, bftbcast.PolicyMixed,
 	} {
-		res, err := bftbcast.RunReactive(bftbcast.ReactiveConfig{
-			Topo:        tor,
-			T:           t,
-			MF:          mf,
-			MMax:        mmax,
-			PayloadBits: k,
-			Source:      tor.ID(0, 0),
-			Placement:   bftbcast.RandomPlacement{T: t, Density: 0.06, Seed: 13},
-			Policy:      policy,
-			Seed:        17,
-		})
+		sc, err := base.With(bftbcast.WithReactive(bftbcast.ReactiveSpec{
+			MMax: mmax, PayloadBits: k, Policy: policy,
+		}))
 		if err != nil {
 			log.Fatal(err)
 		}
+		rep, err := bftbcast.EngineReactive.Run(context.Background(), sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := rep.Reactive
 		fmt.Printf("policy=%-8s completed=%-5v rounds=%3d maxMsgs/node=%d (bound %d) forged=%d\n",
-			policy, res.Completed, res.MessageRounds, res.MaxNodeMessages,
+			policy, rep.Completed, res.MessageRounds, res.MaxNodeMessages,
 			2*(t*mf+1), res.ForgedDeliveries)
 		if policy == bftbcast.PolicyDisrupt {
 			fmt.Printf("  codeword K=%d bits, L=%d sub-bits; max sub-slots %d vs Theorem 4 budget %d\n",

@@ -13,6 +13,7 @@
 package actor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,16 +33,34 @@ type Config struct {
 	Spec     core.Spec
 	Source   grid.NodeID
 	MaxSlots int
+	// OnSlotStart, when non-nil, observes every coordinated slot.
+	OnSlotStart func(slot int)
+	// OnSend, when non-nil, observes every transmission (the fault-free
+	// runtime has no adversarial sends).
+	OnSend func(slot int, from grid.NodeID, v radio.Value)
+	// OnDeliver, when non-nil, observes every delivery of the radio
+	// medium.
+	OnDeliver func(slot int, d radio.Delivery)
+	// OnAccept, when non-nil, observes every acceptance. It runs on the
+	// coordinator goroutine after the slot's delivery barrier, so
+	// observers need no synchronization of their own.
+	OnAccept func(slot int, id grid.NodeID, v radio.Value)
 }
 
 // Result mirrors the sequential engine's outcome for the fields the
 // fault-free setting produces.
 type Result struct {
-	Completed   bool
-	Slots       int
-	DecidedGood int
-	TotalGood   int
-	Sent        []int32
+	Completed bool
+	// TimedOut is true when MaxSlots elapsed with transmissions pending,
+	// mirroring the slot-level engines' classification.
+	TimedOut     bool
+	Slots        int
+	DecidedGood  int
+	TotalGood    int
+	GoodMessages int // total transmissions, source included
+	Sent         []int32
+	Decided      []bool
+	DecidedValue []radio.Value
 }
 
 type cmdKind int
@@ -74,6 +93,7 @@ type nodeState struct {
 type acceptMsg struct {
 	id    grid.NodeID
 	sends int
+	value radio.Value
 }
 
 // node is the per-goroutine protocol state machine.
@@ -118,11 +138,22 @@ func (n *node) deliver(v radio.Value) {
 	n.st.decided = true
 	n.st.value = v
 	n.pending = n.sends
-	n.accepts <- acceptMsg{id: n.id, sends: n.sends}
+	n.accepts <- acceptMsg{id: n.id, sends: n.sends, value: v}
 }
 
 // Run executes the configured broadcast with one goroutine per node.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the coordinator
+// checks ctx once per slot; on cancellation it stops every node
+// goroutine, waits for them to exit (no leaks), and returns ctx.Err().
+// A nil ctx behaves like context.Background().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Topo == nil {
 		return nil, errors.New("actor: config needs a topology")
 	}
@@ -188,8 +219,15 @@ func Run(cfg Config) (*Result, error) {
 		deliveries []radio.Delivery
 		replyChs   []chan txReply
 	)
+	var ctxErr error
 	slot := 0
 	for ; pendingTotal > 0 && slot < maxSlots; slot++ {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			break
+		}
+		if cfg.OnSlotStart != nil {
+			cfg.OnSlotStart(slot)
+		}
 		color := schedule.SlotColor(slot)
 		// Query the slot's color class concurrently.
 		candidates := colorNodes[color]
@@ -204,6 +242,9 @@ func Run(cfg Config) (*Result, error) {
 			r := <-ch
 			if r.emit {
 				pendingTotal--
+				if cfg.OnSend != nil {
+					cfg.OnSend(slot, candidates[i], r.value)
+				}
 				txs = append(txs, radio.Tx{From: candidates[i], Value: r.value})
 			}
 		}
@@ -219,6 +260,9 @@ func Run(cfg Config) (*Result, error) {
 		var slotWG sync.WaitGroup
 		slotWG.Add(len(deliveries))
 		for _, d := range deliveries {
+			if cfg.OnDeliver != nil {
+				cfg.OnDeliver(slot, d)
+			}
 			nodes[d.To].cmds <- command{kind: cmdDeliver, value: d.Value, wg: &slotWG}
 		}
 		slotWG.Wait()
@@ -228,6 +272,9 @@ func Run(cfg Config) (*Result, error) {
 			select {
 			case a := <-accepts:
 				pendingTotal += int64(a.sends)
+				if cfg.OnAccept != nil {
+					cfg.OnAccept(slot, a.id, a.value)
+				}
 			default:
 				goto drained
 			}
@@ -235,14 +282,24 @@ func Run(cfg Config) (*Result, error) {
 	drained:
 	}
 
-	// Stop all nodes and gather final states.
-	res := &Result{Slots: slot, TotalGood: n, Sent: make([]int32, n)}
+	// Stop all nodes and gather final states. The stop sweep runs on
+	// cancellation too, so a cancelled run leaves no goroutines behind.
+	res := &Result{
+		Slots: slot, TotalGood: n,
+		TimedOut:     pendingTotal > 0 && slot >= maxSlots,
+		Sent:         make([]int32, n),
+		Decided:      make([]bool, n),
+		DecidedValue: make([]radio.Value, n),
+	}
 	stopCh := make(chan txReply, 1)
 	completed := true
 	for i, nd := range nodes {
 		nd.cmds <- command{kind: cmdStop, reply: stopCh}
 		st := (<-stopCh).state
 		res.Sent[i] = st.sent
+		res.GoodMessages += int(st.sent)
+		res.Decided[i] = st.decided
+		res.DecidedValue[i] = st.value
 		if st.decided && st.value == radio.ValueTrue {
 			res.DecidedGood++
 		} else {
@@ -250,6 +307,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	nodeWG.Wait()
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	res.Completed = completed && pendingTotal == 0
 	return res, nil
 }

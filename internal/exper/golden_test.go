@@ -14,12 +14,14 @@ package exper
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"bftbcast"
 	"bftbcast/internal/adversary"
 	"bftbcast/internal/core"
 	"bftbcast/internal/grid"
@@ -143,4 +145,50 @@ func TestGoldenTraceE1(t *testing.T) {
 
 func TestGoldenTraceE2(t *testing.T) {
 	checkGolden(t, "e2_trace.jsonl", recordTrace(t, goldenE2Config(t)))
+}
+
+// recordObserverTrace replays cfg through the public Scenario/Engine
+// API with a bftbcast.TraceObserver attached: the facade's streaming
+// hook path must reproduce the checked-in traces of the hand-rolled
+// OnAccept tracer byte for byte.
+func recordObserverTrace(t *testing.T, cfg sim.Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	obs := bftbcast.NewTraceObserver(&buf)
+	sc, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(cfg.Topo),
+		bftbcast.WithParams(cfg.Params),
+		bftbcast.WithSpec(cfg.Spec),
+		bftbcast.WithSource(cfg.Source),
+		bftbcast.WithAdversary(cfg.Placement, cfg.Strategy),
+		bftbcast.WithObserver(obs),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bftbcast.EngineFast.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Finish(rep); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The Observer variants never regenerate the goldens (-update-golden is
+// handled by the OnAccept tests above); they prove the public hook API
+// reproduces the same bytes.
+func TestGoldenTraceE1Observer(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens regenerated by TestGoldenTraceE1")
+	}
+	checkGolden(t, "e1_trace.jsonl", recordObserverTrace(t, goldenE1Config(t)))
+}
+
+func TestGoldenTraceE2Observer(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens regenerated by TestGoldenTraceE2")
+	}
+	checkGolden(t, "e2_trace.jsonl", recordObserverTrace(t, goldenE2Config(t)))
 }

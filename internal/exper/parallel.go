@@ -2,8 +2,8 @@ package exper
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
+
+	"bftbcast/internal/pool"
 )
 
 // ForEach runs fn(0), ..., fn(n-1) on a pool of the given number of
@@ -12,45 +12,11 @@ import (
 // scheduling; the error reported is the one from the lowest failing
 // index, again independent of scheduling. All indices are attempted even
 // when one fails (runs are cheap and side-effect free).
+//
+// The pool itself lives in internal/pool, which also backs the public
+// streaming sweep harness (bftbcast.Sweep).
 func ForEach(workers, n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		var firstErr error
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		return firstErr
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return pool.ForEach(workers, n, fn)
 }
 
 // RunMany executes the given experiments through the Options' worker

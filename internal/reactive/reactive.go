@@ -16,6 +16,7 @@
 package reactive
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -89,6 +90,20 @@ type Config struct {
 	// MaxRoundsPerBroadcast caps one local broadcast (0 = generous
 	// default).
 	MaxRoundsPerBroadcast int
+	// OnSlotStart, when non-nil, observes every data message round (the
+	// reactive runtime's slot notion), numbered globally across local
+	// broadcasts.
+	OnSlotStart func(round int)
+	// OnSend, when non-nil, observes every data transmission and (with
+	// adversarial=true and value ValueNone) every adversarial attack or
+	// fake NACK spent against the current round.
+	OnSend func(round int, from grid.NodeID, v radio.Value, adversarial bool)
+	// OnDeliver, when non-nil, observes every clean (or undetectedly
+	// forged) payload delivery of the coding layer.
+	OnDeliver func(round int, d radio.Delivery)
+	// OnDecide, when non-nil, observes every certified-propagation
+	// acceptance.
+	OnDecide func(round int, id grid.NodeID, v radio.Value)
 }
 
 // Result reports a Breactive run.
@@ -119,10 +134,25 @@ type Result struct {
 	AttacksSpent     int // adversary messages consumed
 	CodewordBits     int
 	SubBitLength     int
+
+	// Per-node final state, indexed by NodeID.
+	Decided      []bool
+	DecidedValue []radio.Value
+	Bad          []bool // the resolved placement
 }
 
 // Run executes Breactive to fixpoint.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the engine checks ctx
+// once per message round (and per relay) and returns ctx.Err() when it
+// fires. A nil ctx behaves like context.Background().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Topo == nil {
 		return nil, errors.New("reactive: config needs a topology")
 	}
@@ -171,6 +201,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	e := &engine{
+		ctx:    ctx,
 		cfg:    cfg,
 		code:   code,
 		proto:  proto,
@@ -189,6 +220,9 @@ func Run(cfg Config) (*Result, error) {
 	if e.policy == 0 {
 		e.policy = PolicyDisrupt
 	}
+	if cfg.OnDecide != nil {
+		proto.OnAccept = func(id grid.NodeID, v radio.Value) { cfg.OnDecide(e.curRound, id, v) }
+	}
 	if e.quiet <= 0 {
 		e.quiet = cfg.Topo.MaxDegree()
 	}
@@ -203,19 +237,24 @@ func Run(cfg Config) (*Result, error) {
 }
 
 type engine struct {
-	cfg    Config
-	code   *auedcode.Code
-	proto  *bv.Protocol
-	bad    []bool
-	budget []radio.Budget
-	rng    *stats.RNG
-	policy AttackPolicy
-	quiet  int
-	res    Result
+	ctx      context.Context
+	cfg      Config
+	code     *auedcode.Code
+	proto    *bv.Protocol
+	bad      []bool
+	budget   []radio.Budget
+	rng      *stats.RNG
+	policy   AttackPolicy
+	quiet    int
+	curRound int // global data-round index (res.MessageRounds - 1)
+	res      Result
 }
 
 func (e *engine) run() (*Result, error) {
 	for {
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
 		sender := e.proto.NextRelay()
 		if sender == grid.None {
 			break
@@ -267,11 +306,21 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 	pendingData := true // transmit in the first round
 
 	for round := 0; round < maxRounds; round++ {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
 		nackHeard := false
 		if pendingData {
 			pendingData = false
+			e.curRound = e.res.MessageRounds
 			e.res.MessageRounds++
 			e.res.DataSends[sender]++
+			if e.cfg.OnSlotStart != nil {
+				e.cfg.OnSlotStart(e.curRound)
+			}
+			if e.cfg.OnSend != nil {
+				e.cfg.OnSend(e.curRound, sender, v, false)
+			}
 			cw, err := e.code.Encode(payload, e.rng)
 			if err != nil {
 				return err
@@ -296,6 +345,9 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 				case err == nil && got.Equal(payload):
 					if !received[to] {
 						received[to] = true
+						if e.cfg.OnDeliver != nil {
+							e.cfg.OnDeliver(e.curRound, radio.Delivery{To: to, From: sender, Value: v})
+						}
 						e.proto.Deliver(to, sender, v)
 					}
 				case err == nil:
@@ -304,6 +356,9 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 					if !received[to] {
 						received[to] = true
 						e.res.ForgedDeliveries++
+						if e.cfg.OnDeliver != nil {
+							e.cfg.OnDeliver(e.curRound, radio.Delivery{To: to, From: sender, Value: e.valueFor(got)})
+						}
 						e.proto.Deliver(to, sender, e.valueFor(got))
 					}
 				default:
@@ -373,6 +428,9 @@ func (e *engine) attackRound(sender grid.NodeID, cw *auedcode.Codeword) (auedcod
 		return auedcode.BitString{}, false, nil, nil
 	}
 	e.res.AttacksSpent++
+	if e.cfg.OnSend != nil {
+		e.cfg.OnSend(e.curRound, attacker, radio.ValueNone, true)
+	}
 
 	switch policy {
 	case PolicyForge:
@@ -427,18 +485,29 @@ func (e *engine) spamNack(sender grid.NodeID) bool {
 		return false
 	}
 	e.res.AttacksSpent++
+	if e.cfg.OnSend != nil {
+		e.cfg.OnSend(e.curRound, spammer, radio.ValueNone, true)
+	}
 	return true
 }
 
 func (e *engine) finish() *Result {
 	res := &e.res
-	for i := 0; i < e.cfg.Topo.Size(); i++ {
+	n := e.cfg.Topo.Size()
+	res.Decided = make([]bool, n)
+	res.DecidedValue = make([]radio.Value, n)
+	res.Bad = append([]bool(nil), e.bad...)
+	for i := 0; i < n; i++ {
 		id := grid.NodeID(i)
+		v, ok := e.proto.Decided(id)
+		res.Decided[i] = ok
+		if ok {
+			res.DecidedValue[i] = v
+		}
 		if e.bad[i] {
 			continue
 		}
 		res.TotalGood++
-		v, ok := e.proto.Decided(id)
 		if ok {
 			res.DecidedGood++
 			if v != radio.ValueTrue {

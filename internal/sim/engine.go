@@ -27,6 +27,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -61,6 +62,19 @@ type Config struct {
 	MaxSlots int
 	// OnAccept, when non-nil, observes every acceptance.
 	OnAccept func(slot int, id grid.NodeID, v radio.Value)
+	// OnSlotStart, when non-nil, observes every executed slot before its
+	// transmissions are emitted. The fast path skips idle slots wholesale
+	// when the strategy is delivery-driven; skipped slots produce no
+	// event (the slot counter still advances past them).
+	OnSlotStart func(slot int)
+	// OnSend, when non-nil, observes every transmission the engine
+	// admits: protocol sends by good nodes and (with adversarial=true)
+	// validated adversarial jams.
+	OnSend func(slot int, from grid.NodeID, v radio.Value, adversarial bool)
+	// OnDeliver, when non-nil, observes every final delivery of the
+	// radio medium, including deliveries to bad nodes (which the
+	// protocol layer then ignores).
+	OnDeliver func(slot int, d radio.Delivery)
 }
 
 // Result reports the outcome of a run. All slices are owned by the
@@ -107,8 +121,15 @@ var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
 // draws a reusable Runner from an internal pool, so repeated calls on
 // same-sized topologies avoid per-run allocation of the engine state.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the engine checks ctx
+// once per executed slot and returns ctx.Err() when it fires, honoring
+// deadlines. A nil ctx behaves like context.Background().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	r := runnerPool.Get().(*Runner)
-	res, err := r.Run(cfg)
+	res, err := r.RunContext(ctx, cfg)
 	runnerPool.Put(r)
 	return res, err
 }
@@ -235,6 +256,15 @@ func (r *Runner) reset() {
 
 // Run executes one simulation, reusing the Runner's allocations.
 func (r *Runner) Run(cfg Config) (*Result, error) {
+	return r.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation, checked once per
+// executed slot. A nil ctx behaves like context.Background().
+func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Topo == nil {
 		return nil, errors.New("sim: config needs a topology")
 	}
@@ -293,7 +323,7 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 	r.decidedVal[cfg.Source] = radio.ValueTrue
 	r.addPending(cfg.Source, cfg.Spec.SourceRepeats)
 
-	res, err := r.run()
+	res, err := r.run(ctx)
 	// Drop the per-run references so a pooled Runner does not pin the
 	// caller's placement, strategy or callbacks between runs.
 	r.cfg = Config{}
@@ -372,7 +402,7 @@ func (r *Runner) nextBusySlot(slot, maxSlots int) int {
 	return maxSlots
 }
 
-func (r *Runner) run() (*Result, error) {
+func (r *Runner) run(ctx context.Context) (*Result, error) {
 	maxSlots := r.cfg.MaxSlots
 	if maxSlots <= 0 {
 		maxSlots = r.defaultMaxSlots()
@@ -381,6 +411,9 @@ func (r *Runner) run() (*Result, error) {
 	view := runnerView{r}
 	slot := 0
 	for r.pendingTotal > 0 && slot < maxSlots {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		color := r.schedule.SlotColor(slot)
 		if r.colorPending[color] == 0 && canSkip {
 			// Nothing transmits and the strategy stays silent on empty
@@ -390,6 +423,9 @@ func (r *Runner) run() (*Result, error) {
 			continue
 		}
 		r.curSlot = slot
+		if r.cfg.OnSlotStart != nil {
+			r.cfg.OnSlotStart(slot)
+		}
 
 		txs := r.txs[:0]
 		if r.colorPending[color] > 0 {
@@ -409,6 +445,9 @@ func (r *Runner) run() (*Result, error) {
 				r.consumePending(id)
 				r.sent[id]++
 				r.res.GoodMessages++
+				if r.cfg.OnSend != nil {
+					r.cfg.OnSend(slot, id, r.decidedVal[id], false)
+				}
 				txs = append(txs, radio.Tx{From: id, Value: r.decidedVal[id]})
 				if r.pending[id] > 0 {
 					q[w] = id
@@ -507,6 +546,9 @@ func (r *Runner) validateJams(jams []radio.Tx) []radio.Tx {
 		}
 		r.jamSeen[j.From] = r.jamEpoch
 		r.res.BadMessages++
+		if r.cfg.OnSend != nil {
+			r.cfg.OnSend(r.curSlot, j.From, j.Value, true)
+		}
 		valid = append(valid, j)
 	}
 	return valid
@@ -515,6 +557,9 @@ func (r *Runner) validateJams(jams []radio.Tx) []radio.Tx {
 // deliver applies one final delivery to the receiver's counters and
 // processes a threshold crossing.
 func (r *Runner) deliver(slot int, d radio.Delivery) {
+	if r.cfg.OnDeliver != nil {
+		r.cfg.OnDeliver(slot, d)
+	}
 	u := d.To
 	if r.bad[u] {
 		return // adversary nodes do not run the protocol

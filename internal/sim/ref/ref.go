@@ -17,6 +17,7 @@
 package ref
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -62,11 +63,21 @@ type engine struct {
 // engine and returns its Result. The semantics are identical to sim.Run;
 // only the evaluation strategy differs.
 func Run(cfg sim.Config) (*sim.Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation, checked once per
+// slot, mirroring sim.RunContext. A nil ctx behaves like
+// context.Background().
+func RunContext(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e, err := newEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return e.run()
+	return e.run(ctx)
 }
 
 func newEngine(cfg sim.Config) (*engine, error) {
@@ -176,7 +187,7 @@ func (e *engine) defaultMaxSlots() int {
 	return period * (e.cfg.Spec.SourceRepeats + hops*(maxSends+1) + 2*period)
 }
 
-func (e *engine) run() (*sim.Result, error) {
+func (e *engine) run(ctx context.Context) (*sim.Result, error) {
 	maxSlots := e.cfg.MaxSlots
 	if maxSlots <= 0 {
 		maxSlots = e.defaultMaxSlots()
@@ -188,6 +199,12 @@ func (e *engine) run() (*sim.Result, error) {
 	view := engineView{e}
 	slot := 0
 	for ; e.pendingTotal > 0 && slot < maxSlots; slot++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if e.cfg.OnSlotStart != nil {
+			e.cfg.OnSlotStart(slot)
+		}
 		color := e.schedule.SlotColor(slot)
 		txs = txs[:0]
 		for _, id := range e.colorNodes[color] {
@@ -204,6 +221,9 @@ func (e *engine) run() (*sim.Result, error) {
 			e.consumePending(id)
 			e.sent[id]++
 			e.res.GoodMessages++
+			if e.cfg.OnSend != nil {
+				e.cfg.OnSend(slot, id, e.decidedVal[id], false)
+			}
 			txs = append(txs, radio.Tx{From: id, Value: e.decidedVal[id]})
 		}
 
@@ -218,7 +238,7 @@ func (e *engine) run() (*sim.Result, error) {
 
 		var jams []radio.Tx
 		if e.cfg.Strategy != nil {
-			jams = e.validateJams(e.cfg.Strategy.Jams(view, slot, tentative))
+			jams = e.validateJams(slot, e.cfg.Strategy.Jams(view, slot, tentative))
 		}
 
 		if len(jams) == 0 {
@@ -268,7 +288,7 @@ func (e *engine) dropPending(id grid.NodeID) {
 // validateJams enforces the adversary rules: jams must come from distinct
 // bad nodes with remaining budget, carry a trackable value, and each costs
 // one budget unit.
-func (e *engine) validateJams(jams []radio.Tx) []radio.Tx {
+func (e *engine) validateJams(slot int, jams []radio.Tx) []radio.Tx {
 	if len(jams) == 0 {
 		return nil
 	}
@@ -290,6 +310,9 @@ func (e *engine) validateJams(jams []radio.Tx) []radio.Tx {
 		}
 		seen[j.From] = true
 		e.res.BadMessages++
+		if e.cfg.OnSend != nil {
+			e.cfg.OnSend(slot, j.From, j.Value, true)
+		}
 		valid = append(valid, j)
 	}
 	return valid
@@ -298,6 +321,9 @@ func (e *engine) validateJams(jams []radio.Tx) []radio.Tx {
 // deliver applies one final delivery to the receiver's counters and
 // processes a threshold crossing.
 func (e *engine) deliver(slot int, d radio.Delivery) {
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(slot, d)
+	}
 	u := d.To
 	if e.bad[u] {
 		return // adversary nodes do not run the protocol

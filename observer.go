@@ -1,0 +1,167 @@
+package bftbcast
+
+import (
+	"io"
+
+	"bftbcast/internal/trace"
+)
+
+// Observer receives the streaming event feed of an Engine run. All four
+// backends emit the same four events; the slot argument is the engine's
+// time notion (TDMA slot for the simulation and actor engines, global
+// data-round index for the reactive engine).
+//
+// Events are delivered synchronously on the engine's coordinator
+// goroutine, in deterministic order for the deterministic engines, so
+// an Observer needs no locking of its own. Observers must not mutate
+// engine state; an observed run returns the same Report as an
+// unobserved one.
+//
+// The sparse fast engine skips provably idle slots wholesale, so its
+// SlotStart feed only covers executed slots (the slot numbering still
+// matches the reference engine's). Embed BaseObserver to implement only
+// the events you care about.
+type Observer interface {
+	// SlotStart fires before the slot's transmissions are emitted.
+	SlotStart(slot int)
+	// Send fires for every admitted transmission; adversarial marks
+	// validated adversary messages (jams, attacks, NACK spam).
+	Send(slot int, from NodeID, v Value, adversarial bool)
+	// Deliver fires for every delivery (from the radio medium, or from
+	// the reactive coding layer when a receiver trusts a payload).
+	Deliver(slot int, from, to NodeID, v Value)
+	// Decide fires when a node accepts a value. The pre-decided source
+	// produces no event.
+	Decide(slot int, id NodeID, v Value)
+}
+
+// BaseObserver is a no-op Observer, meant for embedding.
+type BaseObserver struct{}
+
+// SlotStart implements Observer.
+func (BaseObserver) SlotStart(int) {}
+
+// Send implements Observer.
+func (BaseObserver) Send(int, NodeID, Value, bool) {}
+
+// Deliver implements Observer.
+func (BaseObserver) Deliver(int, NodeID, NodeID, Value) {}
+
+// Decide implements Observer.
+func (BaseObserver) Decide(int, NodeID, Value) {}
+
+// FuncObserver adapts optional event functions to Observer; nil fields
+// ignore their event.
+type FuncObserver struct {
+	OnSlotStart func(slot int)
+	OnSend      func(slot int, from NodeID, v Value, adversarial bool)
+	OnDeliver   func(slot int, from, to NodeID, v Value)
+	OnDecide    func(slot int, id NodeID, v Value)
+}
+
+// SlotStart implements Observer.
+func (o FuncObserver) SlotStart(slot int) {
+	if o.OnSlotStart != nil {
+		o.OnSlotStart(slot)
+	}
+}
+
+// Send implements Observer.
+func (o FuncObserver) Send(slot int, from NodeID, v Value, adversarial bool) {
+	if o.OnSend != nil {
+		o.OnSend(slot, from, v, adversarial)
+	}
+}
+
+// Deliver implements Observer.
+func (o FuncObserver) Deliver(slot int, from, to NodeID, v Value) {
+	if o.OnDeliver != nil {
+		o.OnDeliver(slot, from, to, v)
+	}
+}
+
+// Decide implements Observer.
+func (o FuncObserver) Decide(slot int, id NodeID, v Value) {
+	if o.OnDecide != nil {
+		o.OnDecide(slot, id, v)
+	}
+}
+
+// MultiObserver fans every event out to each observer in order.
+func MultiObserver(obs ...Observer) Observer { return multiObserver(obs) }
+
+type multiObserver []Observer
+
+// SlotStart implements Observer.
+func (m multiObserver) SlotStart(slot int) {
+	for _, o := range m {
+		o.SlotStart(slot)
+	}
+}
+
+// Send implements Observer.
+func (m multiObserver) Send(slot int, from NodeID, v Value, adversarial bool) {
+	for _, o := range m {
+		o.Send(slot, from, v, adversarial)
+	}
+}
+
+// Deliver implements Observer.
+func (m multiObserver) Deliver(slot int, from, to NodeID, v Value) {
+	for _, o := range m {
+		o.Deliver(slot, from, to, v)
+	}
+}
+
+// Decide implements Observer.
+func (m multiObserver) Decide(slot int, id NodeID, v Value) {
+	for _, o := range m {
+		o.Decide(slot, id, v)
+	}
+}
+
+// TraceObserver streams decisions as JSON Lines in the repository's
+// golden-trace format: one {"slot","node","kind":"accept","value"}
+// object per acceptance, and a terminal done/stall line written by
+// Finish. It replaces the hand-rolled tracer the golden E1/E2
+// regression tests used before the Observer API existed and reproduces
+// those checked-in traces byte-identically.
+type TraceObserver struct {
+	BaseObserver
+	rec *trace.JSONL
+	err error
+}
+
+// NewTraceObserver returns a TraceObserver writing to w.
+func NewTraceObserver(w io.Writer) *TraceObserver {
+	return &TraceObserver{rec: trace.NewJSONL(w)}
+}
+
+// Decide implements Observer.
+func (t *TraceObserver) Decide(slot int, id NodeID, v Value) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.rec.Record(trace.Event{Slot: slot, Node: int32(id), Kind: trace.KindAccept, Value: int32(v)})
+}
+
+// Finish writes the terminal event for the run's Report — kind "done"
+// (or "stall" for a stalled run) with the final decided count — and
+// returns the first error of the whole stream.
+func (t *TraceObserver) Finish(rep *Report) error {
+	if t.err != nil {
+		return t.err
+	}
+	kind := trace.KindDone
+	if rep.Stalled {
+		kind = trace.KindStall
+	}
+	t.err = t.rec.Record(trace.Event{Slot: rep.Slots, Kind: kind, Value: int32(rep.DecidedGood)})
+	return t.err
+}
+
+// Err returns the first recording error, if any.
+func (t *TraceObserver) Err() error { return t.err }
+
+// Count returns the number of events written so far.
+func (t *TraceObserver) Count() int { return t.rec.Count() }

@@ -1,0 +1,147 @@
+package bftbcast
+
+// Report is the unified outcome of an Engine run. The core fields are
+// populated by every backend with the same meaning, so cross-engine
+// comparisons (and the fast-vs-ref differential oracle) work on one
+// type; the typed extension pointers carry whatever extra detail the
+// executing backend produces (exactly one of them is non-nil).
+type Report struct {
+	// Engine is the name of the backend that produced the report
+	// ("fast", "ref", "actor", "reactive").
+	Engine string
+
+	// Completed is true when every good node decided Vtrue.
+	Completed bool
+	// Stalled is true when the run drained with good nodes still
+	// undecided: the broadcast failed.
+	Stalled bool
+	// TimedOut is true when the slot cap elapsed with work pending.
+	TimedOut bool
+
+	// Slots is the elapsed engine time: TDMA slots for the simulation
+	// and actor engines, data message rounds for the reactive engine.
+	Slots int
+
+	TotalGood      int
+	DecidedGood    int
+	WrongDecisions int // good nodes that accepted a value != Vtrue (Lemma 1: must be 0)
+
+	GoodMessages int // protocol transmissions, source included (data+NACK for reactive)
+	BadMessages  int // adversarial transmissions
+	BadCount     int
+
+	// Per-node final state, indexed by NodeID; owned by the caller.
+	Decided      []bool
+	DecidedValue []Value
+	Sent         []int32 // protocol messages sent (data+NACK for reactive)
+
+	AvgGoodSends float64 // mean Sent over good non-source nodes
+	MaxGoodSends int
+
+	// Backend extensions: exactly one is non-nil.
+	Sim      *SimResult      // "fast" and "ref"
+	Actor    *ActorResult    // "actor"
+	Reactive *ReactiveResult // "reactive"
+}
+
+// reportFromSim wraps a slot-level engine result. The per-node slices
+// are shared with the SimResult, which already owns fresh copies.
+func reportFromSim(engine string, res *SimResult) *Report {
+	return &Report{
+		Engine:         engine,
+		Completed:      res.Completed,
+		Stalled:        res.Stalled,
+		TimedOut:       res.TimedOut,
+		Slots:          res.Slots,
+		TotalGood:      res.TotalGood,
+		DecidedGood:    res.DecidedGood,
+		WrongDecisions: res.WrongDecisions,
+		GoodMessages:   res.GoodMessages,
+		BadMessages:    res.BadMessages,
+		BadCount:       res.BadCount,
+		Decided:        res.Decided,
+		DecidedValue:   res.DecidedValue,
+		Sent:           res.Sent,
+		AvgGoodSends:   res.AvgGoodSends,
+		MaxGoodSends:   res.MaxGoodSends,
+		Sim:            res,
+	}
+}
+
+// reportFromActor wraps an actor runtime result (fault-free: every node
+// is good and there are no adversarial messages).
+func reportFromActor(res *ActorResult, source NodeID) *Report {
+	rep := &Report{
+		Engine:       "actor",
+		Completed:    res.Completed,
+		Stalled:      !res.Completed && !res.TimedOut,
+		TimedOut:     res.TimedOut,
+		Slots:        res.Slots,
+		TotalGood:    res.TotalGood,
+		DecidedGood:  res.DecidedGood,
+		GoodMessages: res.GoodMessages,
+		Decided:      res.Decided,
+		DecidedValue: res.DecidedValue,
+		Sent:         res.Sent,
+		Actor:        res,
+	}
+	for i, v := range res.DecidedValue {
+		if res.Decided[i] && v != ValueTrue {
+			rep.WrongDecisions++
+		}
+	}
+	rep.AvgGoodSends, rep.MaxGoodSends = sendStats(res.Sent, nil, source)
+	return rep
+}
+
+// reportFromReactive wraps a reactive runtime result. Sent counts
+// data+NACK messages per node, matching the paper's per-node message
+// accounting; Slots counts data message rounds.
+func reportFromReactive(res *ReactiveResult, source NodeID) *Report {
+	bad := res.Bad
+	sent := make([]int32, len(res.DataSends))
+	good := 0
+	for i := range sent {
+		sent[i] = res.DataSends[i] + res.NackSends[i]
+		if !bad[i] {
+			good += int(sent[i])
+		}
+	}
+	rep := &Report{
+		Engine:         "reactive",
+		Completed:      res.Completed,
+		Stalled:        !res.Completed,
+		Slots:          res.MessageRounds,
+		TotalGood:      res.TotalGood,
+		DecidedGood:    res.DecidedGood,
+		WrongDecisions: res.WrongDecisions,
+		GoodMessages:   good,
+		BadMessages:    res.AttacksSpent,
+		BadCount:       res.BadCount,
+		Decided:        res.Decided,
+		DecidedValue:   res.DecidedValue,
+		Sent:           sent,
+		Reactive:       res,
+	}
+	rep.AvgGoodSends, rep.MaxGoodSends = sendStats(sent, bad, source)
+	return rep
+}
+
+// sendStats computes the mean and max sends over good non-source nodes.
+func sendStats(sent []int32, bad []bool, source NodeID) (avg float64, maxSends int) {
+	var sum, n int
+	for i, s := range sent {
+		if NodeID(i) == source || (bad != nil && bad[i]) {
+			continue
+		}
+		n++
+		sum += int(s)
+		if int(s) > maxSends {
+			maxSends = int(s)
+		}
+	}
+	if n > 0 {
+		avg = float64(sum) / float64(n)
+	}
+	return avg, maxSends
+}

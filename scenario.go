@@ -1,0 +1,181 @@
+package bftbcast
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scenario is the backend-neutral description of one broadcast
+// experiment: the network topology, the fault model, the protocol, the
+// adversary, and the run limits. Any Engine executes a Scenario and
+// returns a unified *Report, so the same description drives the sparse
+// simulation engine, the dense reference engine, the goroutine-per-node
+// actor runtime, and the Section 5 reactive runtime (see NewEngine).
+//
+// Build Scenarios with NewScenario and functional options; derive sweep
+// variants with With. The zero fields have engine-side defaults: Source
+// defaults to node 0 and Params.R to the topology's radio range.
+type Scenario struct {
+	// Topo is the network topology (required).
+	Topo Topology
+	// Params is the fault model (r, t, mf). A zero R is filled in from
+	// the topology's radio range by NewScenario.
+	Params Params
+	// Spec is the protocol under test. The slot-level and actor engines
+	// require it; the reactive engine derives its protocol from Params
+	// and Reactive instead and ignores it.
+	Spec Spec
+	// Source is the base station (defaults to node 0).
+	Source NodeID
+	// Placement chooses where bad nodes sit; nil means fault-free.
+	Placement Placement
+	// Strategy drives what bad nodes transmit in the slot-level engines;
+	// nil means they stay silent. The actor engine (fault-free) and the
+	// reactive engine (policy-driven, see Reactive) reject it.
+	Strategy Strategy
+	// Seed drives the engine-level randomness of backends that have any
+	// (the reactive engine's coding patterns). Placements carry their
+	// own seeds.
+	Seed uint64
+	// MaxSlots caps slot-level and actor runs; 0 picks a generous
+	// engine-derived default.
+	MaxSlots int
+	// Reactive tunes the reactive backend; its zero value picks the
+	// documented defaults.
+	Reactive ReactiveSpec
+	// Observer, when non-nil, streams engine events (see Observer).
+	Observer Observer
+}
+
+// ReactiveSpec tunes the Section 5 reactive backend of a Scenario. The
+// protocol does not know the adversary budget mf; it only knows MMax.
+type ReactiveSpec struct {
+	// MMax is the loose budget bound known to the protocol (sets the
+	// sub-bit length L). 0 defaults to max(64, Params.MF).
+	MMax int
+	// PayloadBits is the broadcast message size k (0 = 16).
+	PayloadBits int
+	// Policy selects the adversary behavior (0 = PolicyDisrupt).
+	Policy AttackPolicy
+	// QuietWindow overrides the (2r+1)²−1 NACK-free rounds required to
+	// finish a local broadcast (0 = paper default).
+	QuietWindow int
+	// MaxRoundsPerBroadcast caps one local broadcast (0 = generous
+	// default).
+	MaxRoundsPerBroadcast int
+}
+
+// ScenarioOption mutates a Scenario under construction (see NewScenario
+// and Scenario.With).
+type ScenarioOption func(*Scenario)
+
+// NewScenario builds a validated Scenario from the options. A topology
+// is required; Params.R defaults to the topology's radio range.
+func NewScenario(opts ...ScenarioOption) (*Scenario, error) {
+	sc := &Scenario{}
+	for _, opt := range opts {
+		opt(sc)
+	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// With returns a validated copy of the Scenario with the options
+// applied, leaving the receiver untouched. It is the sweep idiom: build
+// one base Scenario, then derive one variant per point.
+func (sc *Scenario) With(opts ...ScenarioOption) (*Scenario, error) {
+	out := *sc
+	for _, opt := range opts {
+		opt(&out)
+	}
+	if err := out.validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// normalized returns a validated copy with defaults filled, leaving the
+// receiver untouched. Engines run on the copy, so a hand-built Scenario
+// is never mutated by Run and one Scenario value can safely drive
+// concurrent runs.
+func (sc *Scenario) normalized() (*Scenario, error) {
+	out := *sc
+	if err := out.validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// validate fills defaults and checks the engine-independent invariants.
+func (sc *Scenario) validate() error {
+	if sc.Topo == nil {
+		return errors.New("bftbcast: scenario needs a topology (WithTopology)")
+	}
+	if sc.Params.R == 0 {
+		sc.Params.R = sc.Topo.Range()
+	}
+	if int(sc.Source) < 0 || int(sc.Source) >= sc.Topo.Size() {
+		return fmt.Errorf("bftbcast: scenario source %d out of range [0, %d)", sc.Source, sc.Topo.Size())
+	}
+	if sc.MaxSlots < 0 {
+		return fmt.Errorf("bftbcast: scenario MaxSlots %d must be >= 0", sc.MaxSlots)
+	}
+	return nil
+}
+
+// WithTopology sets the network topology.
+func WithTopology(t Topology) ScenarioOption {
+	return func(sc *Scenario) { sc.Topo = t }
+}
+
+// WithParams sets the fault model (r, t, mf).
+func WithParams(p Params) ScenarioOption {
+	return func(sc *Scenario) { sc.Params = p }
+}
+
+// WithSpec sets the protocol under test.
+func WithSpec(s Spec) ScenarioOption {
+	return func(sc *Scenario) { sc.Spec = s }
+}
+
+// WithSource sets the base station.
+func WithSource(id NodeID) ScenarioOption {
+	return func(sc *Scenario) { sc.Source = id }
+}
+
+// WithPlacement sets where bad nodes sit.
+func WithPlacement(p Placement) ScenarioOption {
+	return func(sc *Scenario) { sc.Placement = p }
+}
+
+// WithStrategy sets what bad nodes transmit (slot-level engines only).
+func WithStrategy(s Strategy) ScenarioOption {
+	return func(sc *Scenario) { sc.Strategy = s }
+}
+
+// WithAdversary sets placement and strategy together.
+func WithAdversary(p Placement, s Strategy) ScenarioOption {
+	return func(sc *Scenario) { sc.Placement, sc.Strategy = p, s }
+}
+
+// WithSeed sets the engine-level random seed.
+func WithSeed(seed uint64) ScenarioOption {
+	return func(sc *Scenario) { sc.Seed = seed }
+}
+
+// WithMaxSlots caps the run length of the slot-level and actor engines.
+func WithMaxSlots(n int) ScenarioOption {
+	return func(sc *Scenario) { sc.MaxSlots = n }
+}
+
+// WithReactive tunes the reactive backend.
+func WithReactive(r ReactiveSpec) ScenarioOption {
+	return func(sc *Scenario) { sc.Reactive = r }
+}
+
+// WithObserver attaches a streaming event observer.
+func WithObserver(o Observer) ScenarioOption {
+	return func(sc *Scenario) { sc.Observer = o }
+}

@@ -1,0 +1,208 @@
+package bftbcast_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"bftbcast"
+)
+
+func TestNewScenarioValidation(t *testing.T) {
+	if _, err := bftbcast.NewScenario(); err == nil {
+		t.Fatal("scenario without topology: want an error")
+	}
+	tor, err := bftbcast.NewTorus(10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithSource(bftbcast.NodeID(1000)),
+	); err == nil {
+		t.Fatal("out-of-range source: want an error")
+	}
+	sc, err := bftbcast.NewScenario(bftbcast.WithTopology(tor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Params.R != tor.Range() {
+		t.Fatalf("Params.R = %d, want topology range %d", sc.Params.R, tor.Range())
+	}
+}
+
+func TestScenarioWithDoesNotMutateBase(t *testing.T) {
+	tor, err := bftbcast.NewTorus(10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := bftbcast.NewScenario(bftbcast.WithTopology(tor), bftbcast.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := base.With(bftbcast.WithSeed(2), bftbcast.WithMaxSlots(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Seed != 1 || base.MaxSlots != 0 {
+		t.Fatalf("With mutated the base scenario: %+v", base)
+	}
+	if derived.Seed != 2 || derived.MaxSlots != 7 {
+		t.Fatalf("With did not apply options: %+v", derived)
+	}
+}
+
+func TestNewEngine(t *testing.T) {
+	for _, want := range []string{"fast", "ref", "actor", "reactive"} {
+		e, err := bftbcast.NewEngine(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() != want {
+			t.Fatalf("NewEngine(%q).Name() = %q", want, e.Name())
+		}
+	}
+	if _, err := bftbcast.NewEngine("warp"); err == nil {
+		t.Fatal("unknown engine: want an error")
+	}
+	if got := len(bftbcast.Engines()); got != 4 {
+		t.Fatalf("Engines() returned %d backends, want 4", got)
+	}
+}
+
+// TestEngineRunDoesNotMutateScenario pins that Run normalizes a copy: a
+// hand-built Scenario with a zero Params.R is runnable but stays
+// untouched, so one value can drive concurrent runs.
+func TestEngineRunDoesNotMutateScenario(t *testing.T) {
+	tor, err := bftbcast.NewTorus(15, 15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bftbcast.Params{R: 1, T: 0, MF: 0}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &bftbcast.Scenario{Topo: tor, Params: bftbcast.Params{T: 0, MF: 0}, Spec: spec}
+	rep, err := bftbcast.EngineFast.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("run failed: %+v", rep)
+	}
+	if sc.Params.R != 0 {
+		t.Fatalf("Run mutated the caller's scenario: Params.R = %d", sc.Params.R)
+	}
+}
+
+// TestTimedOutParityAcrossEngines runs one under-capped fault-free
+// scenario on the slot-level and actor backends: all must classify it
+// as TimedOut, not Stalled (the Report contract).
+func TestTimedOutParityAcrossEngines(t *testing.T) {
+	params := bftbcast.Params{R: 2, T: 0, MF: 0}
+	tor, err := bftbcast.NewTorus(20, 20, params.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+		bftbcast.WithMaxSlots(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []bftbcast.Engine{bftbcast.EngineFast, bftbcast.EngineRef, bftbcast.EngineActor} {
+		rep, err := engine.Run(context.Background(), sc)
+		if err != nil {
+			t.Fatalf("%s: %v", engine.Name(), err)
+		}
+		if !rep.TimedOut || rep.Stalled || rep.Completed {
+			t.Fatalf("%s misclassifies a timeout: timedOut=%v stalled=%v completed=%v",
+				engine.Name(), rep.TimedOut, rep.Stalled, rep.Completed)
+		}
+	}
+}
+
+func TestEngineScenarioMismatch(t *testing.T) {
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	tor, err := bftbcast.NewTorus(10, 10, params.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adversarial, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+		bftbcast.WithAdversary(
+			bftbcast.RandomPlacement{T: 2, Density: 0.05, Seed: 1},
+			bftbcast.NewCorruptor(),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := bftbcast.EngineActor.Run(ctx, adversarial); err == nil ||
+		!strings.Contains(err.Error(), "fault-free") {
+		t.Fatalf("actor engine on adversarial scenario: err = %v, want fault-free rejection", err)
+	}
+	if _, err := bftbcast.EngineReactive.Run(ctx, adversarial); err == nil ||
+		!strings.Contains(err.Error(), "Policy") {
+		t.Fatalf("reactive engine with Strategy: err = %v, want policy rejection", err)
+	}
+}
+
+// TestLegacyAndScenarioAgree pins the wrapper contract: a legacy RunSim
+// call and the Scenario/Engine path produce bit-identical results.
+func TestLegacyAndScenarioAgree(t *testing.T) {
+	params := bftbcast.Params{R: 2, T: 3, MF: 2}
+	tor, err := bftbcast.NewTorus(20, 20, params.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore SA1019 the deprecated wrapper is the subject under test
+	res, err := bftbcast.RunSim(bftbcast.SimConfig{
+		Topo: tor, Params: params, Spec: spec,
+		Placement: bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 1},
+		Strategy:  bftbcast.NewCorruptor(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+		bftbcast.WithAdversary(
+			bftbcast.RandomPlacement{T: 3, Density: 0.1, Seed: 1},
+			bftbcast.NewCorruptor(),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bftbcast.EngineFast.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != res.Completed || rep.Slots != res.Slots ||
+		rep.GoodMessages != res.GoodMessages || rep.BadMessages != res.BadMessages ||
+		rep.DecidedGood != res.DecidedGood || rep.AvgGoodSends != res.AvgGoodSends {
+		t.Fatalf("legacy and scenario paths diverge:\nlegacy: %+v\nreport: %+v", res, rep)
+	}
+}

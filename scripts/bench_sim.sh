@@ -16,6 +16,6 @@ OUT="${2:-BENCH_sim.json}"
 
 go build -o /tmp/benchjson ./cmd/benchjson
 go test -run '^$' \
-  -bench 'BenchmarkSweep45(Sequential|Parallel|DenseRef|Runner)$' \
+  -bench 'BenchmarkSweep45(Sequential|Parallel|DenseRef|Runner|Scenario)$' \
   -benchmem -benchtime "$BENCHTIME" . | tee /dev/stderr | /tmp/benchjson > "$OUT"
 echo "wrote $OUT" >&2

@@ -1,0 +1,93 @@
+package bftbcast
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"bftbcast/internal/pool"
+)
+
+// SweepPoint is the outcome of one Scenario of a Sweep. Exactly one of
+// Report and Err is non-nil.
+type SweepPoint struct {
+	// Index is the point's position in Sweep.Scenarios.
+	Index    int
+	Scenario *Scenario
+	Report   *Report
+	Err      error
+}
+
+// Sweep runs a list of Scenarios through one Engine on the
+// deterministic worker pool the experiment harness uses, streaming the
+// results in scenario order. Because every Scenario carries its own
+// seeds, the reports are identical for any worker count; only the
+// wall-clock time changes.
+//
+//	sweep := bftbcast.Sweep{Workers: runtime.NumCPU(), Scenarios: points}
+//	for pt := range sweep.Stream(ctx) {
+//		...
+//	}
+type Sweep struct {
+	// Engine executes the points; nil means EngineFast.
+	Engine Engine
+	// Workers bounds the worker pool (<= 0 means runtime.NumCPU(), 1
+	// runs sequentially).
+	Workers int
+	// Scenarios are the sweep points, streamed back in this order.
+	Scenarios []*Scenario
+}
+
+// Stream launches the sweep and returns a channel that yields one
+// SweepPoint per Scenario, in scenario order, each as soon as it (and
+// every earlier point) has finished. The channel is buffered for the
+// whole sweep and closes after the last point, so abandoning it leaks
+// nothing; cancelling ctx makes the remaining points fail fast with
+// ctx.Err().
+func (s *Sweep) Stream(ctx context.Context) <-chan SweepPoint {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	eng := s.Engine
+	if eng == nil {
+		eng = EngineFast
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	scenarios := s.Scenarios
+	points := make([]SweepPoint, len(scenarios))
+	ch := make(chan SweepPoint, len(scenarios))
+	go func() {
+		defer close(ch)
+		_ = pool.Ordered(workers, len(scenarios), func(i int) error {
+			pt := SweepPoint{Index: i, Scenario: scenarios[i]}
+			if err := ctx.Err(); err != nil {
+				pt.Err = err // fail fast once cancelled
+			} else {
+				pt.Report, pt.Err = eng.Run(ctx, scenarios[i])
+			}
+			points[i] = pt
+			return nil
+		}, func(i int) {
+			ch <- points[i] // never blocks: the channel holds the sweep
+		})
+	}()
+	return ch
+}
+
+// Run executes the sweep to completion and returns every point in
+// scenario order, plus the first per-point error (by index) if any.
+func (s *Sweep) Run(ctx context.Context) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(s.Scenarios))
+	for pt := range s.Stream(ctx) {
+		points = append(points, pt)
+	}
+	for _, pt := range points {
+		if pt.Err != nil {
+			return points, fmt.Errorf("bftbcast: sweep point %d: %w", pt.Index, pt.Err)
+		}
+	}
+	return points, nil
+}

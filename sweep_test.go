@@ -1,0 +1,145 @@
+package bftbcast_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"bftbcast"
+)
+
+// sweepScenarios builds n protocol-B points with varying adversary
+// seeds. Strategies are single-run, so each point carries its own.
+func sweepScenarios(t *testing.T, n int) []*bftbcast.Scenario {
+	t.Helper()
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	tor, err := bftbcast.NewTorus(20, 20, params.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*bftbcast.Scenario, n)
+	for i := range out {
+		out[i], err = base.With(bftbcast.WithAdversary(
+			bftbcast.RandomPlacement{T: params.T, Density: 0.05, Seed: uint64(i + 1)},
+			bftbcast.NewCorruptor(),
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestSweepStreamOrderAndDeterminism streams the same sweep
+// sequentially and on a 4-worker pool: points must arrive in scenario
+// order and the reports must be identical for any worker count.
+func TestSweepStreamOrderAndDeterminism(t *testing.T) {
+	const n = 8
+	collect := func(workers int) []bftbcast.SweepPoint {
+		t.Helper()
+		sweep := bftbcast.Sweep{Workers: workers, Scenarios: sweepScenarios(t, n)}
+		var pts []bftbcast.SweepPoint
+		for pt := range sweep.Stream(context.Background()) {
+			if pt.Err != nil {
+				t.Fatalf("point %d: %v", pt.Index, pt.Err)
+			}
+			pts = append(pts, pt)
+		}
+		return pts
+	}
+	seq := collect(1)
+	par := collect(4)
+	if len(seq) != n || len(par) != n {
+		t.Fatalf("got %d/%d points, want %d", len(seq), len(par), n)
+	}
+	for i := range seq {
+		if seq[i].Index != i || par[i].Index != i {
+			t.Fatalf("out-of-order stream: seq[%d].Index=%d par[%d].Index=%d",
+				i, seq[i].Index, i, par[i].Index)
+		}
+		if !reflect.DeepEqual(seq[i].Report, par[i].Report) {
+			t.Fatalf("point %d differs between 1 and 4 workers:\nseq: %+v\npar: %+v",
+				i, seq[i].Report, par[i].Report)
+		}
+	}
+}
+
+// TestSweepRun checks the collecting wrapper and its first-error
+// contract (an actor-engine sweep over adversarial scenarios fails on
+// every point; Run must surface point 0's error and still return all
+// points).
+func TestSweepRun(t *testing.T) {
+	pts, err := (&bftbcast.Sweep{Workers: 2, Scenarios: sweepScenarios(t, 4)}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Report == nil || !pt.Report.Completed {
+			t.Fatalf("point %d: %+v", i, pt.Report)
+		}
+	}
+
+	bad := bftbcast.Sweep{Engine: bftbcast.EngineActor, Workers: 2, Scenarios: sweepScenarios(t, 3)}
+	pts, err = bad.Run(context.Background())
+	if err == nil {
+		t.Fatal("actor sweep over adversarial scenarios: want an error")
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points with error, want all 3", len(pts))
+	}
+}
+
+// TestSweepCancellation cancels mid-sweep — deterministically, from an
+// Observer inside point 5's own run on a sequential pool: the stream
+// must still close after yielding one point per scenario, with point 5
+// interrupted mid-run and every later point failing fast, all with
+// context.Canceled.
+func TestSweepCancellation(t *testing.T) {
+	const n, cancelAt = 12, 5
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	scenarios := sweepScenarios(t, n)
+	var err error
+	scenarios[cancelAt], err = scenarios[cancelAt].With(bftbcast.WithObserver(
+		bftbcast.FuncObserver{OnSlotStart: func(int) { cancel() }},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := bftbcast.Sweep{Workers: 1, Scenarios: scenarios}
+	var got int
+	for pt := range sweep.Stream(ctx) {
+		if pt.Index != got {
+			t.Fatalf("out-of-order point %d at position %d", pt.Index, got)
+		}
+		got++
+		if pt.Index < cancelAt {
+			if pt.Err != nil {
+				t.Fatalf("point %d before the cancel: %v", pt.Index, pt.Err)
+			}
+			continue
+		}
+		if !errors.Is(pt.Err, context.Canceled) {
+			t.Fatalf("point %d after the cancel: err = %v, want context.Canceled", pt.Index, pt.Err)
+		}
+	}
+	if got != n {
+		t.Fatalf("stream yielded %d points, want %d", got, n)
+	}
+}
