@@ -172,6 +172,93 @@ func BenchmarkSweep45Scenario(b *testing.B) {
 	})
 }
 
+// --- Large-scale tier (compiled topology plans) ---
+
+// BenchmarkSweep160Scenario is the large-scale sweep tier: 8 points of
+// protocol B on a 160×160 torus (25.6k nodes, r=2, random adversary +
+// corruptor) through the public Sweep harness with its pinned per-worker
+// runner, one worker so timings compare across machines. The compiled
+// topology plan is built once for the whole benchmark; every point and
+// every iteration reuses it.
+func BenchmarkSweep160Scenario(b *testing.B) {
+	tor, err := bftbcast.NewTorus(160, 160, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor), bftbcast.WithParams(params), bftbcast.WithSpec(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scenarios := make([]*bftbcast.Scenario, 8)
+		for j := range scenarios {
+			scenarios[j], err = base.With(bftbcast.WithAdversary(
+				bftbcast.RandomPlacement{T: params.T, Density: 0.05, Seed: uint64(j + 1)},
+				bftbcast.NewCorruptor(),
+			))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		pts, err := (&bftbcast.Sweep{Workers: 1, Scenarios: scenarios}).Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, pt := range pts {
+			if !pt.Report.Completed {
+				b.Fatalf("sweep point %d did not complete", j)
+			}
+		}
+	}
+}
+
+// BenchmarkRGG100kRun is the 100k-node scale proof: one adversarial
+// protocol-B broadcast (random t=1 placement, corruptor strategy) on a
+// connected random geometric graph of 100,000 nodes. The graph and its
+// compiled plan are built once outside the timer; the measured op is the
+// full broadcast to completion. Before the table-free RGG fast path this
+// topology was unconstructible (the all-pairs hop table alone would be
+// 20 GB).
+func BenchmarkRGG100kRun(b *testing.B) {
+	g, err := bftbcast.NewRGG(100_000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bftbcast.Params{R: 1, T: 1, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(g),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+		bftbcast.WithAdversary(bftbcast.RandomPlacement{T: 1, Density: 0.02, Seed: 3}, bftbcast.NewCorruptor()),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := bftbcast.EngineFast.Run(ctx, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Completed || rep.WrongDecisions != 0 {
+			b.Fatalf("100k broadcast failed: completed=%v wrong=%d", rep.Completed, rep.WrongDecisions)
+		}
+	}
+}
+
 // --- Micro-benchmarks of the core primitives ---
 
 // BenchmarkProtocolBRun measures a full protocol B broadcast on a 20×20

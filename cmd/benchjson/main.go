@@ -2,21 +2,31 @@
 // machine-readable JSON document, used by scripts/bench_sim.sh and the
 // CI bench job to track the simulation engines' performance trajectory
 // (BENCH_sim.json: ns/op for the dense reference engine vs the sparse
-// fast path) across PRs.
+// fast path, plus the large-scale tier) across PRs.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'BenchmarkSweep45' -benchmem . | benchjson > BENCH_sim.json
+//	go test -run '^$' -bench 'BenchmarkSweep' -benchmem . | \
+//	  benchjson -prev BENCH_sim.json -max-regress BenchmarkSweep45Scenario:1.10 > BENCH_new.json
 //
 // When both BenchmarkSweep45Sequential and BenchmarkSweep45DenseRef are
 // present, the document includes their ratio as "dense_over_sparse" —
 // the fast engine's single-core speedup over the frozen baseline.
+//
+// With -prev, every benchmark present in both runs gains a
+// "<name>_vs_prev" speedup entry (previous ns/op over current ns/op;
+// above 1 is faster). With -max-regress name:factor the command exits
+// non-zero — after writing the document — when the named benchmark is
+// slower than factor times its -prev ns/op, which is how the CI bench
+// job fails pull requests on >10% regressions of the guarded benchmark.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -41,13 +51,16 @@ type Doc struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	prevPath := flag.String("prev", "", "previous BENCH_sim.json to compute *_vs_prev speedups against")
+	maxRegress := flag.String("max-regress", "", "name:factor — fail when the named benchmark is slower than factor × its -prev ns/op")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *prevPath, *maxRegress); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in *os.File, out *os.File) error {
+func run(in io.Reader, out io.Writer, prevPath, maxRegress string) error {
 	doc := Doc{Speedups: map[string]float64{}}
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
@@ -80,12 +93,63 @@ func run(in *os.File, out *os.File) error {
 	if dense, sparse := find(doc.Benchmarks, "BenchmarkSweep45DenseRef"), find(doc.Benchmarks, "BenchmarkSweep45Sequential"); dense != nil && sparse != nil && sparse.NsPerOp > 0 {
 		doc.Speedups["dense_over_sparse"] = round2(dense.NsPerOp / sparse.NsPerOp)
 	}
+
+	var prev *Doc
+	if prevPath != "" {
+		data, err := os.ReadFile(prevPath)
+		if err != nil {
+			return fmt.Errorf("-prev: %w", err)
+		}
+		prev = &Doc{}
+		if err := json.Unmarshal(data, prev); err != nil {
+			return fmt.Errorf("-prev %s: %w", prevPath, err)
+		}
+		for i := range doc.Benchmarks {
+			cur := &doc.Benchmarks[i]
+			if p := find(prev.Benchmarks, cur.Name); p != nil && cur.NsPerOp > 0 {
+				doc.Speedups[cur.Name+"_vs_prev"] = round2(p.NsPerOp / cur.NsPerOp)
+			}
+		}
+	}
 	if len(doc.Speedups) == 0 {
 		doc.Speedups = nil
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+
+	if maxRegress != "" {
+		name, factorStr, ok := strings.Cut(maxRegress, ":")
+		if !ok {
+			return fmt.Errorf("-max-regress wants name:factor, got %q", maxRegress)
+		}
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil || factor <= 0 {
+			return fmt.Errorf("-max-regress factor %q", factorStr)
+		}
+		if prev == nil {
+			return fmt.Errorf("-max-regress needs -prev")
+		}
+		// ns/op only compare meaningfully on the machine class that
+		// produced the snapshot: cross-machine deltas dwarf any real
+		// regression, so the gate is skipped (loudly) when the CPU
+		// differs and the *_vs_prev entries are left as advisory.
+		if prev.CPU != "" && doc.CPU != prev.CPU {
+			fmt.Fprintf(os.Stderr, "benchjson: -max-regress skipped: cpu %q differs from snapshot %q\n", doc.CPU, prev.CPU)
+			return nil
+		}
+		cur, old := find(doc.Benchmarks, name), find(prev.Benchmarks, name)
+		if cur == nil || old == nil {
+			return fmt.Errorf("-max-regress: %s missing from current or previous run", name)
+		}
+		if cur.NsPerOp > old.NsPerOp*factor {
+			return fmt.Errorf("regression: %s %.1fms/op vs previous %.1fms/op (limit %.0f%%)",
+				name, cur.NsPerOp/1e6, old.NsPerOp/1e6, (factor-1)*100)
+		}
+	}
+	return nil
 }
 
 // parseLine parses "BenchmarkX-8  10  123 ns/op  456 B/op  7 allocs/op".

@@ -85,23 +85,38 @@ func simConfig(sc *Scenario) sim.Config {
 	return cfg
 }
 
-type fastEngine struct{}
+type fastEngine struct {
+	// runner, when non-nil, is a dedicated simulation engine owned by a
+	// single goroutine: Sweep pins one per worker so a whole sweep runs
+	// allocation-free without sync.Pool churn. The shared EngineFast
+	// value has no runner and draws from the pool per Run.
+	runner *sim.Runner
+}
 
 // Name implements Engine.
 func (fastEngine) Name() string { return "fast" }
 
 // Run implements Engine.
-func (fastEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
+func (e fastEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
 	sc, err := sc.normalized()
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunContext(ctx, simConfig(sc))
+	var res *sim.Result
+	if e.runner != nil {
+		res, err = e.runner.RunContext(ctx, simConfig(sc))
+	} else {
+		res, err = sim.RunContext(ctx, simConfig(sc))
+	}
 	if err != nil {
 		return nil, err
 	}
 	return reportFromSim("fast", res), nil
 }
+
+// pinned implements workerPinned: each sweep worker gets an engine with
+// its own reusable Runner (see Sweep.Stream).
+func (fastEngine) pinned() Engine { return fastEngine{runner: sim.NewRunner()} }
 
 type refEngine struct{}
 

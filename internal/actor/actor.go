@@ -20,8 +20,8 @@ import (
 
 	"bftbcast/internal/core"
 	"bftbcast/internal/grid"
+	"bftbcast/internal/plan"
 	"bftbcast/internal/radio"
-	"bftbcast/internal/sched"
 	"bftbcast/internal/topo"
 )
 
@@ -166,7 +166,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Params.R != cfg.Topo.Range() {
 		return nil, fmt.Errorf("actor: params r=%d but topology r=%d", cfg.Params.R, cfg.Topo.Range())
 	}
-	schedule, err := sched.New(cfg.Topo)
+	// Topology-derived artifacts (schedule, color classes, the medium's
+	// CSR adjacency) come from the shared compiled plan.
+	p := plan.For(cfg.Topo)
+	schedule, err := p.TDMA()
 	if err != nil {
 		return nil, err
 	}
@@ -200,11 +203,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		go nd.run(&nodeWG)
 	}
 
-	colorNodes := make([][]grid.NodeID, schedule.Period())
-	for i := 0; i < n; i++ {
-		c := schedule.ColorOf(grid.NodeID(i))
-		colorNodes[c] = append(colorNodes[c], grid.NodeID(i))
-	}
+	colorNodes := p.ColorClasses() // shared, read-only
 
 	maxSlots := cfg.MaxSlots
 	if maxSlots <= 0 {
@@ -212,7 +211,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			cfg.Topo.DiameterHint()*(maxSends(cfg)+1) + 2*schedule.Period())
 	}
 
-	medium := radio.NewMedium(cfg.Topo)
+	medium := radio.NewMediumShared(p.Adjacency())
 	pendingTotal := int64(cfg.Spec.SourceRepeats)
 	var (
 		txs        []radio.Tx

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"bftbcast/internal/grid"
+	"bftbcast/internal/plan"
 	"bftbcast/internal/stats"
 	"bftbcast/internal/topo"
 )
@@ -313,11 +314,14 @@ func (rp Random) Place(t topo.Topology, source grid.NodeID) ([]bool, error) {
 	if rp.T == 0 {
 		return bad, nil
 	}
+	// The compiled plan's CSR makes the per-candidate neighborhood walks
+	// array scans instead of coordinate arithmetic; the adjacency is
+	// shared with the engine that will execute the placement.
+	adj := plan.For(t).Adjacency()
 	// counts[c] = bad nodes currently in the closed neighborhood of c.
 	counts := make([]int32, t.Size())
 	target := int(rp.Density * float64(t.Size()))
 	placed := 0
-	var nbrs []grid.NodeID // scratch: closure-free neighbor walks
 	for _, idx := range rng.Perm(t.Size()) {
 		if placed >= target {
 			break
@@ -329,7 +333,7 @@ func (rp Random) Place(t topo.Topology, source grid.NodeID) ([]bool, error) {
 		if counts[id] >= int32(rp.T) {
 			continue
 		}
-		nbrs = t.AppendNeighbors(nbrs[:0], id)
+		nbrs := adj.Neighbors(id)
 		ok := true
 		for _, nb := range nbrs {
 			if counts[nb] >= int32(rp.T) {

@@ -47,6 +47,44 @@ type Strategy interface {
 	Jams(v View, slot int, tentative []radio.Delivery) []radio.Tx
 }
 
+// NeighborSource is an optional View refinement: a view that exposes the
+// engine's flattened (compiled-plan CSR) neighbor lists. Strategies use
+// it to walk neighborhoods without per-node coordinate arithmetic; views
+// that do not implement it fall back to Topology.AppendNeighbors, which
+// yields the same nodes in the same order.
+type NeighborSource interface {
+	// Neighbors returns the neighbor list of id in the topology's
+	// deterministic iteration order. The slice is shared storage and
+	// must not be modified.
+	Neighbors(id grid.NodeID) []grid.NodeID
+}
+
+// StateSource is an optional View refinement: a view that exposes the
+// engine's per-node protocol state as shared read-only slices, indexed by
+// NodeID. Hot strategies (the corruptor inspects every tentative Vtrue
+// delivery of every slot) index the arrays directly instead of making
+// several interface calls per delivery; views that do not implement it
+// fall back to the per-node View methods with identical semantics.
+type StateSource interface {
+	// BadMask returns the bad-node mask.
+	BadMask() []bool
+	// DecidedMask returns the per-node decided flags.
+	DecidedMask() []bool
+	// CorrectCounts returns the per-node counts of Vtrue copies received.
+	CorrectCounts() []int32
+	// SupplyCounts returns the per-node outstanding Vtrue supply.
+	SupplyCounts() []int32
+}
+
+// viewNeighbors appends the neighbors of id to dst via the view's shared
+// CSR when available, falling back to a topology walk.
+func viewNeighbors(v View, dst []grid.NodeID, id grid.NodeID) []grid.NodeID {
+	if ns, ok := v.(NeighborSource); ok {
+		return append(dst, ns.Neighbors(id)...)
+	}
+	return v.Topo().AppendNeighbors(dst, id)
+}
+
 // DeliveryDriven is an optional Strategy refinement: a strategy whose
 // DeliveryDriven method returns true promises to never transmit in a slot
 // whose tentative deliveries are empty. The fast simulation engine uses
@@ -142,26 +180,44 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 	c.epoch++
 	threshold := v.Threshold()
 
-	// Pass 1: collect candidate denials with their preferred jammer.
+	// Pass 1: collect candidate denials with their preferred jammer. With
+	// a bulk StateSource view the per-delivery state reads are pure array
+	// indexing (the nil checks predict perfectly); the expensive jammer
+	// choice only runs for the survivors.
+	var bad, decided []bool
+	var correct, supply []int32
+	if ss, ok := v.(StateSource); ok {
+		bad, decided = ss.BadMask(), ss.DecidedMask()
+		correct, supply = ss.CorrectCounts(), ss.SupplyCounts()
+	}
 	c.entries = c.entries[:0]
 	for _, d := range tentative {
 		if d.Value != radio.ValueTrue {
 			continue
 		}
 		u := d.To
-		if v.IsBad(u) || v.IsDecided(u) {
+		if bad != nil {
+			if bad[u] || decided[u] {
+				continue
+			}
+		} else if v.IsBad(u) || v.IsDecided(u) {
 			continue
 		}
 		if c.isVictim != nil && !c.isVictim(v, u) {
 			continue
 		}
-		banked := v.CorrectCount(u)
+		var banked, sup int
+		if correct != nil {
+			banked, sup = int(correct[u]), int(supply[u])
+		} else {
+			banked, sup = v.CorrectCount(u), v.Supply(u)
+		}
 		must := banked+1 >= threshold
-		needy := banked+1+v.Supply(u) >= threshold
+		needy := banked+1+sup >= threshold
 		if !must && !needy {
 			continue
 		}
-		if c.checkFeasible && v.Supply(u)+1 > c.badBudgetNear(v, u) {
+		if c.checkFeasible && sup+1 > c.badBudgetNear(v, u) {
 			continue // blocking u is hopeless; do not waste budget
 		}
 		jammer := c.pickJammer(v, u, d.From, nil)
@@ -216,7 +272,7 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 		jams = append(jams, radio.Tx{From: jammer, Value: wrong, Jam: true, Drop: c.drop})
 		// Everything within range of the jammer is corrupted this slot.
 		c.coveredEpoch[jammer] = c.epoch
-		c.nbrScratch = tor.AppendNeighbors(c.nbrScratch[:0], jammer)
+		c.nbrScratch = viewNeighbors(v, c.nbrScratch[:0], jammer)
 		for _, nb := range c.nbrScratch {
 			c.coveredEpoch[nb] = c.epoch
 		}
@@ -244,7 +300,7 @@ func (c *corruptorCore) badNeighbors(v View, u grid.NodeID) []grid.NodeID {
 	sp := c.badNbrSpan[u]
 	if sp[0] < 0 {
 		lo := int32(len(c.badNbrArena))
-		c.nbrScratch = v.Topo().AppendNeighbors(c.nbrScratch[:0], u)
+		c.nbrScratch = viewNeighbors(v, c.nbrScratch[:0], u)
 		for _, nb := range c.nbrScratch {
 			if v.IsBad(nb) {
 				c.badNbrArena = append(c.badNbrArena, nb)

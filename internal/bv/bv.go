@@ -35,6 +35,16 @@ func MaxToleratedT(r int) int {
 	return (r*(2*r+1)+1)/2 - 1
 }
 
+// relayEntry is one recorded relay: relayer from vouched for value v.
+// Undecided nodes hold a short flat list of these instead of a per-value
+// map — the list stays tiny (a node decides after at most t+1 entries of
+// one value plus whatever wrong values the adversary planted), so linear
+// scans beat hashing and the per-run memory is O(n) with small constants.
+type relayEntry struct {
+	from grid.NodeID
+	v    radio.Value
+}
+
 // Protocol tracks acceptance state for every node of a topology. It is
 // driven by Deliver calls from a transport (package reactive) and reports
 // newly decided nodes through the OnAccept callback.
@@ -44,7 +54,8 @@ type Protocol struct {
 	source    grid.NodeID
 	decided   []bool
 	value     []radio.Value
-	relayers  []map[radio.Value][]grid.NodeID // per node, per value
+	relayers  [][]relayEntry // per node, flat (value, relayer) records
+	scratch   []grid.NodeID  // relayer-list assembly for certification
 	harvested []bool
 	// OnAccept, when non-nil, observes each acceptance.
 	OnAccept func(id grid.NodeID, v radio.Value)
@@ -68,7 +79,7 @@ func New(tor topo.Topology, t int, source grid.NodeID) (*Protocol, error) {
 		source:   source,
 		decided:  make([]bool, tor.Size()),
 		value:    make([]radio.Value, tor.Size()),
-		relayers: make([]map[radio.Value][]grid.NodeID, tor.Size()),
+		relayers: make([][]relayEntry, tor.Size()),
 	}
 	p.decided[source] = true
 	p.value[source] = radio.ValueTrue
@@ -110,18 +121,36 @@ func (p *Protocol) Deliver(to, from grid.NodeID, v radio.Value) bool {
 		p.accept(to, v)
 		return true
 	}
-	if p.relayers[to] == nil {
-		p.relayers[to] = make(map[radio.Value][]grid.NodeID, 2)
-	}
-	list := p.relayers[to][v]
-	for _, s := range list {
-		if s == from {
+	entries := p.relayers[to]
+	count := 0
+	for _, e := range entries {
+		if e.v != v {
+			continue
+		}
+		if e.from == from {
 			return false // duplicate relayer
 		}
+		count++
 	}
-	list = append(list, from)
-	p.relayers[to][v] = list
-	if len(list) >= p.t+1 && p.windowCertified(list) {
+	if entries == nil {
+		// One right-sized allocation per undecided node: t+1 entries
+		// certify, so t+2 covers the common case with one wrong value.
+		entries = make([]relayEntry, 0, p.t+2)
+	}
+	p.relayers[to] = append(entries, relayEntry{from: from, v: v})
+	if count+1 < p.t+1 {
+		return false
+	}
+	// Assemble the distinct relayers of v into the reusable scratch for
+	// the window certification.
+	list := p.scratch[:0]
+	for _, e := range p.relayers[to] {
+		if e.v == v {
+			list = append(list, e.from)
+		}
+	}
+	p.scratch = list
+	if p.windowCertified(list) {
 		p.accept(to, v)
 		return true
 	}
@@ -172,10 +201,13 @@ func (p *Protocol) accept(id grid.NodeID, v radio.Value) {
 // PendingRelayers returns how many distinct relayers of v node id has
 // recorded (diagnostics).
 func (p *Protocol) PendingRelayers(id grid.NodeID, v radio.Value) int {
-	if p.relayers[id] == nil {
-		return 0
+	n := 0
+	for _, e := range p.relayers[id] {
+		if e.v == v {
+			n++
+		}
 	}
-	return len(p.relayers[id][v])
+	return n
 }
 
 // NextRelay pops the next decided-but-not-yet-relayed node in id order,

@@ -1,0 +1,68 @@
+package bv
+
+import (
+	"testing"
+
+	"bftbcast/internal/grid"
+	"bftbcast/internal/radio"
+)
+
+// benchDeliverAll drives one full certified-propagation pass: every
+// non-source node receives t+1 in-window relays of Vtrue and accepts.
+func benchDeliverAll(b *testing.B, tor *grid.Torus, t int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := New(tor, t, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for id := 1; id < tor.Size(); id++ {
+			to := grid.NodeID(id)
+			n := 0
+			tor.ForEachNeighbor(to, func(nb grid.NodeID) {
+				if n <= t && nb != to {
+					p.Deliver(to, nb, radio.ValueTrue)
+					n++
+				}
+			})
+		}
+		if got := p.DecidedCount(); got != tor.Size() {
+			b.Fatalf("decided %d of %d", got, tor.Size())
+		}
+	}
+}
+
+// BenchmarkBVDeliver measures the Deliver hot path with the flat relayer
+// storage (per-node entry slices instead of per-value maps). The map
+// version allocated one map plus one list header per (node, value); the
+// flat version's allocations are the amortized growth of n small slices.
+func BenchmarkBVDeliver(b *testing.B) {
+	benchDeliverAll(b, grid.MustNew(30, 30, 2), 2)
+}
+
+// TestDeliverAllocs guards the flat storage with testing.AllocsPerRun:
+// a duplicate relay (the common retransmission case in the reactive
+// runtime) must not allocate at all, and a below-threshold fresh relay
+// must cost at most the amortized slice growth.
+func TestDeliverAllocs(t *testing.T) {
+	tor := grid.MustNew(15, 15, 2)
+	p, err := New(tor, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := tor.ID(7, 7)
+	from := tor.ID(7, 8)
+	if p.Deliver(to, from, radio.ValueTrue) {
+		t.Fatal("single relay must not certify with t=2")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if p.Deliver(to, from, radio.ValueTrue) {
+			t.Fatal("duplicate relay must not certify")
+		}
+	}); allocs != 0 {
+		t.Fatalf("duplicate Deliver allocated %.1f times per call, want 0", allocs)
+	}
+}

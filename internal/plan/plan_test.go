@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"slices"
+	"sync"
+	"testing"
+
+	"bftbcast/internal/grid"
+	"bftbcast/internal/sched"
+	"bftbcast/internal/topo"
+)
+
+// topologies returns one instance of every topology kind the engines
+// run on.
+func topologies(t *testing.T) map[string]topo.Topology {
+	t.Helper()
+	rgg, err := topo.NewConnectedRGG(200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]topo.Topology{
+		"torus":   grid.MustNew(15, 15, 2),
+		"bounded": topo.MustNewBounded(17, 13, 2),
+		"rgg":     rgg,
+	}
+}
+
+// TestPlanConformance is the differential suite of the compiled plan:
+// every artifact must equal the naive per-call computation the engines
+// used before plans existed.
+func TestPlanConformance(t *testing.T) {
+	for name, tp := range topologies(t) {
+		t.Run(name, func(t *testing.T) {
+			p := Compute(tp)
+			n := tp.Size()
+			if p.Size() != n {
+				t.Fatalf("plan size %d, topology %d", p.Size(), n)
+			}
+
+			// CSR rows and ball sizes vs a fresh topology walk.
+			maxDeg := 0
+			for i := 0; i < n; i++ {
+				id := grid.NodeID(i)
+				want := tp.AppendNeighbors(nil, id)
+				if got := p.Neighbors(id); !slices.Equal(got, want) {
+					t.Fatalf("node %d: CSR row %v, walk %v", i, got, want)
+				}
+				if got, want := p.Degree(id), tp.Degree(id); got != want {
+					t.Fatalf("node %d: plan degree %d, topology %d", i, got, want)
+				}
+				sorted := slices.Clone(want)
+				slices.Sort(sorted)
+				if got := p.Adjacency().SortedNeighbors(id); !slices.Equal(got, sorted) {
+					t.Fatalf("node %d: sorted CSR row %v, want %v", i, got, sorted)
+				}
+				if d := tp.Degree(id); d > maxDeg {
+					maxDeg = d
+				}
+			}
+			if got := p.MaxDegree(); got != maxDeg || got != tp.MaxDegree() {
+				t.Fatalf("max degree %d, want %d (topology reports %d)", got, maxDeg, tp.MaxDegree())
+			}
+			if got, want := p.DiameterHint(), tp.DiameterHint(); got != want {
+				t.Fatalf("diameter hint %d, want %d", got, want)
+			}
+
+			// Coloring and schedule vs the per-run derivations.
+			wantColors, wantPeriod, err := tp.Coloring()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := p.Colors(); !slices.Equal(got, wantColors) {
+				t.Fatalf("plan colors differ from Coloring()")
+			}
+			if got := p.Period(); got != wantPeriod {
+				t.Fatalf("plan period %d, want %d", got, wantPeriod)
+			}
+			wantSched, err := sched.New(tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSched, err := p.TDMA()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if gotSched.ColorOf(grid.NodeID(i)) != wantSched.ColorOf(grid.NodeID(i)) {
+					t.Fatalf("node %d: schedule color mismatch", i)
+				}
+			}
+			for s := 0; s < 3*wantPeriod; s++ {
+				if gotSched.SlotColor(s) != wantSched.SlotColor(s) {
+					t.Fatalf("slot %d: slot color mismatch", s)
+				}
+			}
+
+			// Color classes: ascending ids, exactly the nodes of each
+			// color.
+			classes := p.ColorClasses()
+			if len(classes) != wantPeriod {
+				t.Fatalf("%d color classes, want %d", len(classes), wantPeriod)
+			}
+			total := 0
+			for c, class := range classes {
+				if !slices.IsSorted(class) {
+					t.Fatalf("color %d: class not ascending", c)
+				}
+				for _, id := range class {
+					if int(wantColors[id]) != c {
+						t.Fatalf("node %d in class %d but colored %d", id, c, wantColors[id])
+					}
+				}
+				total += len(class)
+			}
+			if total != n {
+				t.Fatalf("classes cover %d nodes, want %d", total, n)
+			}
+		})
+	}
+}
+
+// TestPlanCacheIdentity checks the cache contract: same topology, same
+// plan pointer, from any goroutine; distinct topologies, distinct plans;
+// Purge detaches the cache.
+func TestPlanCacheIdentity(t *testing.T) {
+	a := grid.MustNew(10, 10, 2)
+	b := grid.MustNew(10, 10, 2) // equal dimensions, distinct identity
+
+	var wg sync.WaitGroup
+	plans := make([]*Plan, 8)
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plans[i] = For(a)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(plans); i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent For calls returned distinct plans for one topology")
+		}
+	}
+	if For(b) == For(a) {
+		t.Fatal("distinct topologies share a plan")
+	}
+	old := For(a)
+	Purge()
+	if For(a) == old {
+		t.Fatal("Purge did not drop the cached plan")
+	}
+}
+
+// TestPlanCacheEviction floods the cache past its cap and checks the
+// oldest entry was evicted (recomputed on next For) while recent ones
+// are still served by identity — the bound that keeps topology-churning
+// hosts from growing without limit.
+func TestPlanCacheEviction(t *testing.T) {
+	Purge()
+	first := grid.MustNew(5, 5, 2)
+	firstPlan := For(first)
+	extras := make([]topo.Topology, maxCached)
+	for i := range extras {
+		extras[i] = grid.MustNew(5, 5, 2)
+		For(extras[i])
+	}
+	if For(first) == firstPlan {
+		t.Fatal("oldest entry survived a full cache turnover")
+	}
+	last := extras[len(extras)-1]
+	if For(last) != For(last) {
+		t.Fatal("recent entry not served by identity")
+	}
+	Purge()
+}
+
+// TestPlanColoringError checks that a topology without a valid coloring
+// compiles into a plan whose adjacency works and whose TDMA carries the
+// same error sched.New reports.
+func TestPlanColoringError(t *testing.T) {
+	tor := grid.MustNew(16, 15, 2) // 16 not divisible by 2r+1=5
+	p := Compute(tor)
+	if p.Neighbors(0) == nil {
+		t.Fatal("adjacency missing on coloring failure")
+	}
+	_, gotErr := p.TDMA()
+	_, wantErr := sched.New(tor)
+	if gotErr == nil || wantErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("TDMA error %v, sched.New error %v", gotErr, wantErr)
+	}
+	if p.Colors() != nil || p.Period() != 0 || p.ColorClasses() != nil {
+		t.Fatal("coloring artifacts must be absent when the coloring fails")
+	}
+}

@@ -17,6 +17,15 @@ import (
 // index, again independent of scheduling. All indices are attempted even
 // when one fails (runs are cheap and side-effect free).
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker identity passed to fn: fn is
+// called as fn(w, i) where w in [0, workers) names the goroutine running
+// index i, and every call with the same w runs on the same goroutine.
+// Callers use w to pin per-worker state (a reusable engine, a scratch
+// arena) that a work item may use without synchronization.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -26,7 +35,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers <= 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && firstErr == nil {
+			if err := fn(0, i); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -37,16 +46,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -66,11 +75,17 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // delays emission, not computation. Ordered returns once every index has
 // been emitted.
 func Ordered(workers, n int, fn func(i int) error, emit func(i int)) error {
+	return OrderedWorker(workers, n, func(_, i int) error { return fn(i) }, emit)
+}
+
+// OrderedWorker is Ordered with the worker identity passed to fn (see
+// ForEachWorker).
+func OrderedWorker(workers, n int, fn func(worker, i int) error, emit func(i int)) error {
 	if n <= 0 {
 		return nil
 	}
 	if emit == nil {
-		return ForEach(workers, n, fn)
+		return ForEachWorker(workers, n, fn)
 	}
 
 	var (
@@ -97,8 +112,8 @@ func Ordered(workers, n int, fn func(i int) error, emit func(i int)) error {
 		}
 	}()
 
-	err := ForEach(workers, n, func(i int) error {
-		ferr := fn(i)
+	err := ForEachWorker(workers, n, func(w, i int) error {
+		ferr := fn(w, i)
 		mu.Lock()
 		done[i] = true
 		mu.Unlock()

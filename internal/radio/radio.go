@@ -55,22 +55,101 @@ type Delivery struct {
 	Collided bool // true when the receiver was inside a collision
 }
 
-// Medium resolves transmissions into deliveries on a fixed topology.
-// Construction flattens the topology's adjacency into a CSR (offset +
-// neighbor array) layout once, so per-slot resolution is a pair of array
-// walks with no closure calls and no modular arithmetic — the simulation
-// hot path spends most of its time here.
+// Adjacency is the immutable CSR (offset + neighbor array) flattening of
+// a topology's neighbor relation, in the topology's deterministic
+// iteration order, plus a per-node ascending copy for resolution paths
+// that want receivers in id order. Construction walks the topology once;
+// afterwards every neighbor query is a pair of array index reads with no
+// closure calls and no modular arithmetic.
 //
-// It keeps per-node scratch state, so a Medium is not safe for concurrent
-// use; create one per goroutine. A Medium is reusable across runs on the
+// An Adjacency is safe for concurrent readers and is shared by reference:
+// every Medium, engine and adversary walking the same topology reads the
+// same arrays (the compiled topology plan, internal/plan, caches one per
+// topology).
+type Adjacency struct {
+	// Off and Nbrs are the CSR layout: the neighbors of node i are
+	// Nbrs[Off[i]:Off[i+1]], in the topology's ForEachNeighbor order.
+	Off  []int32
+	Nbrs []grid.NodeID
+	// sorted holds the same lists in ascending id order; it aliases Nbrs
+	// when the topology already iterates ascending (bounded grids, RGGs).
+	sorted []grid.NodeID
+}
+
+// csrSource is implemented by topologies that already store their
+// adjacency in CSR form (the RGG); NewAdjacency aliases those arrays
+// instead of rebuilding an identical copy.
+type csrSource interface {
+	CSR() (off []int32, nbrs []grid.NodeID)
+}
+
+// NewAdjacency flattens t's neighbor relation, aliasing the topology's
+// own CSR storage when it exposes one (the rows must match the
+// ForEachNeighbor order, which the plan conformance suite checks).
+func NewAdjacency(t topo.Topology) *Adjacency {
+	n := t.Size()
+	a := &Adjacency{}
+	if src, ok := t.(csrSource); ok {
+		a.Off, a.Nbrs = src.CSR()
+	} else {
+		a.Off = make([]int32, n+1)
+		a.Nbrs = make([]grid.NodeID, 0, n*t.MaxDegree())
+		for i := 0; i < n; i++ {
+			a.Nbrs = t.AppendNeighbors(a.Nbrs, grid.NodeID(i))
+			a.Off[i+1] = int32(len(a.Nbrs))
+		}
+	}
+	if isPerNodeSorted(a) {
+		a.sorted = a.Nbrs
+	} else {
+		a.sorted = make([]grid.NodeID, len(a.Nbrs))
+		copy(a.sorted, a.Nbrs)
+		for i := 0; i < n; i++ {
+			slices.Sort(a.sorted[a.Off[i]:a.Off[i+1]])
+		}
+	}
+	return a
+}
+
+// isPerNodeSorted reports whether every per-node neighbor list is already
+// ascending, letting sorted alias Nbrs.
+func isPerNodeSorted(a *Adjacency) bool {
+	for i := 0; i+1 < len(a.Off); i++ {
+		if !slices.IsSorted(a.Nbrs[a.Off[i]:a.Off[i+1]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of nodes.
+func (a *Adjacency) Size() int { return len(a.Off) - 1 }
+
+// Neighbors returns the neighbor list of id in the topology's
+// deterministic iteration order. The slice aliases the shared CSR storage
+// and must not be modified.
+func (a *Adjacency) Neighbors(id grid.NodeID) []grid.NodeID {
+	return a.Nbrs[a.Off[id]:a.Off[id+1]]
+}
+
+// SortedNeighbors returns the neighbor list of id in ascending id order.
+// The slice aliases the shared CSR storage and must not be modified.
+func (a *Adjacency) SortedNeighbors(id grid.NodeID) []grid.NodeID {
+	return a.sorted[a.Off[id]:a.Off[id+1]]
+}
+
+// Degree returns the number of neighbors of id.
+func (a *Adjacency) Degree(id grid.NodeID) int {
+	return int(a.Off[id+1] - a.Off[id])
+}
+
+// Medium resolves transmissions into deliveries on a fixed topology. The
+// adjacency CSR is shared and read-only (see Adjacency); the per-slot
+// resolution scratch is private, so a Medium is not safe for concurrent
+// use — create one per goroutine. A Medium is reusable across runs on the
 // same topology (see ResetStats).
 type Medium struct {
-	t topo.Topology
-
-	// CSR adjacency: the neighbors of node i are nbrs[off[i]:off[i+1]],
-	// in the topology's deterministic iteration order.
-	off  []int32
-	nbrs []grid.NodeID
+	adj *Adjacency
 
 	epoch    int32
 	mark     []int32       // epoch stamp per node
@@ -83,6 +162,7 @@ type Medium struct {
 	sending  []bool // half-duplex: transmitters cannot receive this slot
 
 	touched []grid.NodeID // receivers touched this slot
+	out     []Delivery    // ResolveAppend accumulator (nil in callback mode)
 
 	// GoodGoodCollisions counts receivers that observed two or more
 	// concurrent good transmissions, which a valid TDMA schedule makes
@@ -90,12 +170,20 @@ type Medium struct {
 	GoodGoodCollisions int
 }
 
-// NewMedium returns a Medium for t.
+// NewMedium returns a Medium for t with its own freshly flattened
+// adjacency. Callers that already hold a compiled plan share its CSR via
+// NewMediumShared instead.
 func NewMedium(t topo.Topology) *Medium {
-	n := t.Size()
-	m := &Medium{
-		t:        t,
-		off:      make([]int32, n+1),
+	return NewMediumShared(NewAdjacency(t))
+}
+
+// NewMediumShared returns a Medium reading the shared adjacency adj. Only
+// the per-slot scratch is allocated; the CSR arrays stay shared with every
+// other consumer of the same plan.
+func NewMediumShared(adj *Adjacency) *Medium {
+	n := adj.Size()
+	return &Medium{
+		adj:      adj,
 		mark:     make([]int32, n),
 		nGood:    make([]int16, n),
 		goodVal:  make([]Value, n),
@@ -106,33 +194,59 @@ func NewMedium(t topo.Topology) *Medium {
 		sending:  make([]bool, n),
 		touched:  make([]grid.NodeID, 0, 256),
 	}
-	m.nbrs = make([]grid.NodeID, 0, n*t.MaxDegree())
-	for i := 0; i < n; i++ {
-		m.nbrs = t.AppendNeighbors(m.nbrs, grid.NodeID(i))
-		m.off[i+1] = int32(len(m.nbrs))
-	}
-	return m
 }
 
 // Neighbors returns the flattened neighbor list of id, in the
 // topology's deterministic iteration order. The slice aliases the
-// Medium's CSR storage and must not be modified; the simulation engine
+// shared CSR storage and must not be modified; the simulation engine
 // shares it for its own neighbor walks instead of building a second
 // copy of the adjacency.
 func (m *Medium) Neighbors(id grid.NodeID) []grid.NodeID {
-	return m.nbrs[m.off[id]:m.off[id+1]]
+	return m.adj.Neighbors(id)
 }
+
+// Adjacency returns the shared CSR adjacency the Medium resolves on.
+func (m *Medium) Adjacency() *Adjacency { return m.adj }
 
 // ResetStats clears the accumulated statistics so the Medium can be
 // reused for a fresh run on the same topology. The per-slot scratch state
 // is epoch-stamped and needs no clearing.
 func (m *Medium) ResetStats() { m.GoodGoodCollisions = 0 }
 
+// ResolveAppend is Resolve with the deliveries appended to dst instead of
+// reported through a callback, saving one indirect call per delivery on
+// the hot tentative-resolution path. It returns the extended slice.
+func (m *Medium) ResolveAppend(txs []Tx, dst []Delivery) ([]Delivery, error) {
+	m.out = dst
+	err := m.Resolve(txs, nil)
+	dst, m.out = m.out, nil
+	return dst, err
+}
+
 // Resolve computes the deliveries produced by the slot's transmissions and
-// invokes deliver for each receiver that hears something. Deliveries are
-// reported in ascending receiver id order to keep runs deterministic.
-// Transmitting nodes are half-duplex and never receive in the same slot.
+// invokes deliver for each receiver that hears something (a nil deliver
+// appends to the ResolveAppend accumulator). Deliveries are reported in
+// ascending receiver id order to keep runs deterministic. Transmitting
+// nodes are half-duplex and never receive in the same slot.
 func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
+	for i := range txs {
+		tx := &txs[i]
+		if tx.Value == ValueNone && !tx.Drop {
+			return fmt.Errorf("radio: transmission from %d carries ValueNone", tx.From)
+		}
+		if int(tx.From) < 0 || int(tx.From) >= len(m.mark) {
+			return fmt.Errorf("radio: transmitter %d out of range", tx.From)
+		}
+	}
+
+	// Single-transmitter slots (the most common shape of a sparse run)
+	// need no collision bookkeeping at all: the sole signal reaches every
+	// neighbor, already in ascending order via the sorted CSR.
+	if len(txs) == 1 {
+		m.resolveSingle(&txs[0], deliver)
+		return nil
+	}
+
 	m.epoch++
 	if m.epoch < 0 { // extremely long runs: reset stamps
 		m.epoch = 1
@@ -144,20 +258,13 @@ func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
 	epoch := m.epoch
 
 	for i := range txs {
-		tx := &txs[i]
-		if tx.Value == ValueNone && !tx.Drop {
-			return fmt.Errorf("radio: transmission from %d carries ValueNone", tx.From)
-		}
-		if int(tx.From) < 0 || int(tx.From) >= len(m.mark) {
-			return fmt.Errorf("radio: transmitter %d out of range", tx.From)
-		}
-		m.sending[tx.From] = true
+		m.sending[txs[i].From] = true
 	}
 
 	for i := range txs {
 		tx := &txs[i]
 		from := tx.From
-		for _, to := range m.nbrs[m.off[from]:m.off[from+1]] {
+		for _, to := range m.adj.Neighbors(from) {
 			if m.mark[to] != epoch {
 				m.mark[to] = epoch
 				m.nGood[to] = 0
@@ -187,15 +294,20 @@ func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
 	// Deliveries must be reported in ascending receiver id order. When
 	// the slot touched a large fraction of the network (dense waves of
 	// same-color transmitters), scanning the epoch marks in id order is
-	// cheaper than sorting; otherwise sort the short touched list in
-	// place (slices.Sort does not allocate).
-	if len(m.touched)*4 >= len(m.mark) {
+	// cheaper than sorting; with only a few transmitters, merging their
+	// already-sorted CSR neighbor lists beats sorting the touched list;
+	// otherwise sort the short touched list in place (slices.Sort does
+	// not allocate).
+	switch {
+	case len(m.touched)*4 >= len(m.mark):
 		for i := range m.mark {
 			if m.mark[i] == epoch {
 				m.emit(grid.NodeID(i), deliver)
 			}
 		}
-	} else {
+	case len(txs) <= mergeMaxTx:
+		m.emitMerged(txs, deliver)
+	default:
 		slices.Sort(m.touched)
 		for _, to := range m.touched {
 			m.emit(to, deliver)
@@ -208,19 +320,82 @@ func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
 	return nil
 }
 
+// resolveSingle emits the deliveries of a one-transmission slot: no
+// collisions are possible, the transmitter is not its own neighbor, and
+// the sorted CSR hands out receivers in ascending id order directly.
+func (m *Medium) resolveSingle(tx *Tx, deliver func(Delivery)) {
+	from := tx.From
+	if tx.Jam && tx.Drop {
+		return // a lone dropping jam silences nothing that was sent
+	}
+	for _, to := range m.adj.SortedNeighbors(from) {
+		d := Delivery{To: to, Value: tx.Value, From: from, Collided: tx.Jam}
+		if deliver == nil {
+			m.out = append(m.out, d)
+		} else {
+			deliver(d)
+		}
+	}
+}
+
+// mergeMaxTx bounds the transmitter count for merge-based emission: the
+// per-receiver cost of the k-way merge grows with k, while sorting the
+// touched list is k-independent.
+const mergeMaxTx = 8
+
+// emitMerged visits the union of the transmitters' sorted neighbor lists
+// in ascending id order by k-way merge, emitting each receiver once. It
+// produces exactly the deliveries the sort-based path would, without
+// sorting.
+func (m *Medium) emitMerged(txs []Tx, deliver func(Delivery)) {
+	var heads [mergeMaxTx][]grid.NodeID
+	for i := range txs {
+		heads[i] = m.adj.SortedNeighbors(txs[i].From)
+	}
+	k := len(txs)
+	for {
+		min := grid.NodeID(-1)
+		for i := 0; i < k; i++ {
+			if len(heads[i]) > 0 && (min < 0 || heads[i][0] < min) {
+				min = heads[i][0]
+			}
+		}
+		if min < 0 {
+			return
+		}
+		for i := 0; i < k; i++ {
+			if len(heads[i]) > 0 && heads[i][0] == min {
+				heads[i] = heads[i][1:]
+			}
+		}
+		m.emit(min, deliver)
+	}
+}
+
 // emit reports the outcome of the slot at receiver to.
 func (m *Medium) emit(to grid.NodeID, deliver func(Delivery)) {
 	if m.sending[to] {
 		return // half-duplex
 	}
+	var d Delivery
 	switch {
 	case m.jammed[to]:
-		if v := m.jamVal[to]; v != ValueNone {
-			deliver(Delivery{To: to, Value: v, From: m.jamFrom[to], Collided: true})
+		v := m.jamVal[to]
+		if v == ValueNone {
+			return
 		}
+		d = Delivery{To: to, Value: v, From: m.jamFrom[to], Collided: true}
 	case m.nGood[to] == 1:
-		deliver(Delivery{To: to, Value: m.goodVal[to], From: m.goodFrom[to]})
-	case m.nGood[to] >= 2:
-		m.GoodGoodCollisions++
+		d = Delivery{To: to, Value: m.goodVal[to], From: m.goodFrom[to]}
+	default:
+		if m.nGood[to] >= 2 {
+			m.GoodGoodCollisions++
+		}
+		return
+	}
+	if deliver == nil {
+		m.out = append(m.out, d)
+	} else {
+		deliver(d)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"bftbcast/internal/bv"
 	"bftbcast/internal/core"
 	"bftbcast/internal/grid"
+	"bftbcast/internal/plan"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/stats"
 	"bftbcast/internal/topo"
@@ -201,14 +202,16 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	e := &engine{
-		ctx:    ctx,
-		cfg:    cfg,
-		code:   code,
-		proto:  proto,
-		bad:    bad,
-		rng:    stats.NewRNG(cfg.Seed),
-		policy: cfg.Policy,
-		quiet:  cfg.QuietWindow,
+		ctx:      ctx,
+		cfg:      cfg,
+		pl:       plan.For(cfg.Topo),
+		code:     code,
+		proto:    proto,
+		bad:      bad,
+		received: make([]int32, n),
+		rng:      stats.NewRNG(cfg.Seed),
+		policy:   cfg.Policy,
+		quiet:    cfg.QuietWindow,
 		res: Result{
 			DataSends:        make([]int32, n),
 			NackSends:        make([]int32, n),
@@ -237,15 +240,24 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 type engine struct {
-	ctx      context.Context
-	cfg      Config
-	code     *auedcode.Code
-	proto    *bv.Protocol
-	bad      []bool
-	budget   []radio.Budget
-	rng      *stats.RNG
-	policy   AttackPolicy
-	quiet    int
+	ctx    context.Context
+	cfg    Config
+	pl     *plan.Plan
+	code   *auedcode.Code
+	proto  *bv.Protocol
+	bad    []bool
+	budget []radio.Budget
+	rng    *stats.RNG
+	policy AttackPolicy
+	quiet  int
+
+	// received is the per-local-broadcast "got a clean copy" set,
+	// flattened into an epoch-stamped array: received[id] == recvEpoch
+	// marks id as served in the current broadcast, and bumping recvEpoch
+	// clears the whole set in O(1).
+	received  []int32
+	recvEpoch int32
+
 	curRound int // global data-round index (res.MessageRounds - 1)
 	res      Result
 }
@@ -301,7 +313,7 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 		maxRounds = 2*(e.cfg.T*e.cfg.MF+1) + 2*e.quiet + 16
 	}
 
-	received := make(map[grid.NodeID]bool) // receivers that got a clean copy
+	e.recvEpoch++ // clears the received set of the previous broadcast
 	quietRun := 0
 	pendingData := true // transmit in the first round
 
@@ -330,11 +342,11 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 				return err
 			}
 			// Deliver per receiver: inside the attacker's range the
-			// attacked sub-bits are heard, outside the clean ones.
-			failures := 0
-			tor.ForEachNeighbor(sender, func(to grid.NodeID) {
+			// attacked sub-bits are heard, outside the clean ones. The
+			// walk reads the compiled plan's CSR.
+			for _, to := range e.pl.Neighbors(sender) {
 				if e.bad[to] {
-					return
+					continue
 				}
 				sub := cw.Sub
 				if attackerRange != nil && tor.Dist(to, attackerRange[0]) <= tor.Range() {
@@ -343,8 +355,8 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 				got, err := e.code.ReceiveSub(sub)
 				switch {
 				case err == nil && got.Equal(payload):
-					if !received[to] {
-						received[to] = true
+					if e.received[to] != e.recvEpoch {
+						e.received[to] = e.recvEpoch
 						if e.cfg.OnDeliver != nil {
 							e.cfg.OnDeliver(e.curRound, radio.Delivery{To: to, From: sender, Value: v})
 						}
@@ -353,8 +365,8 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 				case err == nil:
 					// An undetected forgery: the receiver trusts a
 					// wrong payload.
-					if !received[to] {
-						received[to] = true
+					if e.received[to] != e.recvEpoch {
+						e.received[to] = e.recvEpoch
 						e.res.ForgedDeliveries++
 						if e.cfg.OnDeliver != nil {
 							e.cfg.OnDeliver(e.curRound, radio.Delivery{To: to, From: sender, Value: e.valueFor(got)})
@@ -362,12 +374,10 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 						e.proto.Deliver(to, sender, e.valueFor(got))
 					}
 				default:
-					failures++
 					e.res.NackSends[to]++
 					nackHeard = true
 				}
-			})
-			_ = failures
+			}
 			_ = forged
 		}
 
@@ -396,17 +406,17 @@ func (e *engine) localBroadcast(sender grid.NodeID, v radio.Value) error {
 // forge succeeded, and a one-element slice naming the attacker (nil when
 // none) for range checks.
 func (e *engine) attackRound(sender grid.NodeID, cw *auedcode.Codeword) (auedcode.BitString, bool, []grid.NodeID, error) {
-	tor := e.cfg.Topo
 	attacker := grid.None
 	// The first in-range bad node with budget attacks. Attackers beyond
 	// radio range of the sender cannot hit the same receivers reliably;
 	// in-range keeps the model simple and is the common case for the
 	// locally-bounded placements.
-	tor.ForEachNeighbor(sender, func(nb grid.NodeID) {
-		if attacker == grid.None && e.bad[nb] && e.budget[nb].Left() != 0 {
+	for _, nb := range e.pl.Neighbors(sender) {
+		if e.bad[nb] && e.budget[nb].Left() != 0 {
 			attacker = nb
+			break
 		}
-	})
+	}
 	if attacker == grid.None {
 		return auedcode.BitString{}, false, nil, nil
 	}
@@ -473,11 +483,12 @@ func (e *engine) spamNack(sender grid.NodeID) bool {
 		return false
 	}
 	spammer := grid.None
-	e.cfg.Topo.ForEachNeighbor(sender, func(nb grid.NodeID) {
-		if spammer == grid.None && e.bad[nb] && e.budget[nb].Left() != 0 {
+	for _, nb := range e.pl.Neighbors(sender) {
+		if e.bad[nb] && e.budget[nb].Left() != 0 {
 			spammer = nb
+			break
 		}
-	})
+	}
 	if spammer == grid.None {
 		return false
 	}

@@ -46,6 +46,12 @@ func New(t topo.Topology) (*TDMA, error) {
 // class, and slot s belongs to class s mod Period.
 func (s *TDMA) Period() int { return s.period }
 
+// Colors returns the per-node color array backing the schedule. The slice
+// is the schedule's own storage and must not be modified; the compiled
+// topology plan (internal/plan) shares it by reference so the coloring is
+// computed exactly once per topology.
+func (s *TDMA) Colors() []int32 { return s.colors }
+
 // ColorOf returns the slot class owned by id.
 func (s *TDMA) ColorOf(id grid.NodeID) int { return int(s.colors[id]) }
 

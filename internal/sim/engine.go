@@ -35,6 +35,7 @@ import (
 	"bftbcast/internal/adversary"
 	"bftbcast/internal/core"
 	"bftbcast/internal/grid"
+	"bftbcast/internal/plan"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/sched"
 	"bftbcast/internal/topo"
@@ -144,11 +145,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 // package-level Run does this through a sync.Pool).
 type Runner struct {
 	// Per-topology state, rebuilt only when the topology changes. The
-	// medium's CSR adjacency doubles as the engine's neighbor table.
+	// compiled plan is shared across engines and sweep workers; the
+	// medium's scratch is private but its CSR adjacency is the plan's,
+	// and it doubles as the engine's neighbor table. colors aliases the
+	// plan's (read-only) coloring.
 	topo     topo.Topology
+	plan     *plan.Plan
 	schedule *sched.TDMA
 	medium   *radio.Medium
-	colors   []int32 // TDMA color per node
+	colors   []int32 // TDMA color per node (shared, read-only)
 
 	// Per-run state, reset by Run.
 	cfg        Config
@@ -176,14 +181,14 @@ type Runner struct {
 	trackSupply bool // supply bookkeeping is only needed by strategies
 	curSlot     int
 
-	// Scratch reused across slots; the callbacks are allocated once per
-	// Runner so Resolve never causes a per-slot closure allocation.
-	txs         []radio.Tx
-	tentative   []radio.Delivery
-	tentativeCb func(radio.Delivery)
-	deliverCb   func(radio.Delivery)
-	jamSeen     []int32 // epoch stamps replacing validateJams' map
-	jamEpoch    int32
+	// Scratch reused across slots; the delivery callback is allocated
+	// once per Runner so Resolve never causes a per-slot closure
+	// allocation (the tentative pass uses ResolveAppend, no callback).
+	txs       []radio.Tx
+	tentative []radio.Delivery
+	deliverCb func(radio.Delivery)
+	jamSeen   []int32 // epoch stamps replacing validateJams' map
+	jamEpoch  int32
 
 	res Result
 }
@@ -191,26 +196,26 @@ type Runner struct {
 // NewRunner returns an empty Runner; the first Run sizes it.
 func NewRunner() *Runner {
 	r := &Runner{}
-	r.tentativeCb = func(d radio.Delivery) { r.tentative = append(r.tentative, d) }
 	r.deliverCb = func(d radio.Delivery) { r.deliver(r.curSlot, d) }
 	return r
 }
 
 // retarget (re)builds the per-topology state when cfg.Topo differs from
-// the previous run's topology.
+// the previous run's topology. The topology-derived artifacts (CSR
+// adjacency, coloring, schedule) come from the shared compiled plan, so
+// only the Runner's private scratch is allocated here.
 func (r *Runner) retarget(t topo.Topology) error {
-	schedule, err := sched.New(t)
+	p := plan.For(t)
+	schedule, err := p.TDMA()
 	if err != nil {
 		return err
 	}
 	r.topo = t
+	r.plan = p
 	r.schedule = schedule
-	r.medium = radio.NewMedium(t)
+	r.medium = radio.NewMediumShared(p.Adjacency())
 	n := t.Size()
-	r.colors = make([]int32, n)
-	for i := 0; i < n; i++ {
-		r.colors[i] = int32(schedule.ColorOf(grid.NodeID(i)))
-	}
+	r.colors = p.Colors()
 
 	r.decided = make([]bool, n)
 	r.decidedVal = make([]radio.Value, n)
@@ -460,7 +465,8 @@ func (r *Runner) run(ctx context.Context) (*Result, error) {
 
 		r.tentative = r.tentative[:0]
 		if len(txs) > 0 {
-			if err := r.medium.Resolve(txs, r.tentativeCb); err != nil {
+			var err error
+			if r.tentative, err = r.medium.ResolveAppend(txs, r.tentative); err != nil {
 				return nil, err
 			}
 		}
@@ -648,10 +654,30 @@ func (r *Runner) finish(slot, maxSlots int) *Result {
 // runnerView adapts the Runner to adversary.View.
 type runnerView struct{ r *Runner }
 
-var _ adversary.View = runnerView{}
+var (
+	_ adversary.View           = runnerView{}
+	_ adversary.NeighborSource = runnerView{}
+	_ adversary.StateSource    = runnerView{}
+)
 
 // Topo implements adversary.View.
 func (v runnerView) Topo() topo.Topology { return v.r.topo }
+
+// Neighbors implements adversary.NeighborSource: strategies walk the
+// compiled plan's CSR instead of recomputing neighborhoods.
+func (v runnerView) Neighbors(id grid.NodeID) []grid.NodeID { return v.r.neighbors(id) }
+
+// BadMask implements adversary.StateSource.
+func (v runnerView) BadMask() []bool { return v.r.bad }
+
+// DecidedMask implements adversary.StateSource.
+func (v runnerView) DecidedMask() []bool { return v.r.decided }
+
+// CorrectCounts implements adversary.StateSource.
+func (v runnerView) CorrectCounts() []int32 { return v.r.correct }
+
+// SupplyCounts implements adversary.StateSource.
+func (v runnerView) SupplyCounts() []int32 { return v.r.supply }
 
 // IsBad implements adversary.View.
 func (v runnerView) IsBad(id grid.NodeID) bool { return v.r.bad[id] }

@@ -23,6 +23,7 @@ import (
 
 	"bftbcast/internal/adversary"
 	"bftbcast/internal/grid"
+	"bftbcast/internal/plan"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/sched"
 	"bftbcast/internal/sim"
@@ -37,6 +38,7 @@ const maxTrackedValue = 7
 type engine struct {
 	cfg      sim.Config
 	tor      topo.Topology
+	plan     *plan.Plan
 	schedule *sched.TDMA
 	medium   *medium
 
@@ -93,7 +95,11 @@ func newEngine(cfg sim.Config) (*engine, error) {
 	if cfg.Params.R != cfg.Topo.Range() {
 		return nil, fmt.Errorf("ref: params r=%d but topology r=%d", cfg.Params.R, cfg.Topo.Range())
 	}
-	schedule, err := sched.New(cfg.Topo)
+	// The schedule comes from the shared compiled plan — the same colors
+	// sched.New would derive, computed once per topology. The dense
+	// resolver below stays frozen; only the derivation is shared.
+	p := plan.For(cfg.Topo)
+	schedule, err := p.TDMA()
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +123,7 @@ func newEngine(cfg sim.Config) (*engine, error) {
 	e := &engine{
 		cfg:        cfg,
 		tor:        cfg.Topo,
+		plan:       p,
 		schedule:   schedule,
 		medium:     newMedium(cfg.Topo),
 		bad:        bad,
@@ -410,10 +417,31 @@ func (e *engine) finish(slot, maxSlots int) *sim.Result {
 // engineView adapts the engine to adversary.View.
 type engineView struct{ e *engine }
 
-var _ adversary.View = engineView{}
+var (
+	_ adversary.View           = engineView{}
+	_ adversary.NeighborSource = engineView{}
+	_ adversary.StateSource    = engineView{}
+)
 
 // Topo implements adversary.View.
 func (v engineView) Topo() topo.Topology { return v.e.tor }
+
+// Neighbors implements adversary.NeighborSource via the shared compiled
+// plan, keeping strategies on the same code path as the fast engine (the
+// CSR lists the same nodes in the same order a topology walk would).
+func (v engineView) Neighbors(id grid.NodeID) []grid.NodeID { return v.e.plan.Neighbors(id) }
+
+// BadMask implements adversary.StateSource.
+func (v engineView) BadMask() []bool { return v.e.bad }
+
+// DecidedMask implements adversary.StateSource.
+func (v engineView) DecidedMask() []bool { return v.e.decided }
+
+// CorrectCounts implements adversary.StateSource.
+func (v engineView) CorrectCounts() []int32 { return v.e.correct }
+
+// SupplyCounts implements adversary.StateSource.
+func (v engineView) SupplyCounts() []int32 { return v.e.supply }
 
 // IsBad implements adversary.View.
 func (v engineView) IsBad(id grid.NodeID) bool { return v.e.bad[id] }

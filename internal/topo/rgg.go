@@ -3,14 +3,24 @@ package topo
 import (
 	"fmt"
 	"math"
+	"slices"
+	"sync"
 
 	"bftbcast/internal/stats"
 )
 
-// maxRGGNodes caps the node count: the implementation precomputes
-// all-pairs hop distances (n² uint16), which stays small for the
-// simulation sizes this repository uses.
-const maxRGGNodes = 4096
+// maxRGGNodes caps the node count. The CSR adjacency and the BFS-based
+// distance queries scale linearly, so the cap is a sanity bound well
+// above the large-scale benchmark tier (the ~100k-node single-run), not
+// a structural limit.
+const maxRGGNodes = 1 << 20
+
+// distTableMaxNodes bounds the all-pairs hop-distance table: up to this
+// size the table (n² uint16) is cheap and makes Dist/ForEachWithin O(1)
+// lookups; above it the table would dwarf every other allocation
+// (100k nodes → 20 GB), so distances are answered by on-demand
+// breadth-first searches over the CSR adjacency instead.
+const distTableMaxNodes = 4096
 
 // RGG is an immutable random geometric graph: n nodes placed uniformly
 // at random in the unit square, with an edge between every pair at
@@ -20,21 +30,44 @@ const maxRGGNodes = 4096
 // node" — the general multi-hop-graph setting of the follow-up work on
 // Byzantine broadcast beyond the torus. Construct instances with NewRGG
 // or NewConnectedRGG; the zero value is unusable.
+//
+// The adjacency is stored once in CSR form (built by uniform-grid cell
+// bucketing, O(n·candidates) instead of the naive O(n²) pair loop) with
+// per-node neighbor lists ascending. Small graphs (n <= 4096) keep the
+// exact all-pairs hop-distance table; larger graphs answer Dist and
+// ForEachWithin with bounded BFS over pooled scratch, which keeps the
+// type safe for concurrent readers at any size.
 type RGG struct {
 	n      int
 	radius float64
 	xs, ys []float64
 
-	adj    [][]NodeID // sorted ascending per node
-	dist   []uint16   // hop distance, n*n; unreachable = unreachableHop
+	// CSR adjacency: neighbors of i are nbrs[off[i]:off[i+1]], ascending.
+	off    []int32
+	nbrs   []NodeID
 	maxDeg int
-	diam   int
+
+	dist     []uint16 // all-pairs hop table; nil above distTableMaxNodes
+	diamHint int      // generous upper bound on the hop diameter
 
 	colors []int32
 	period int
+
+	scratch sync.Pool // *rggScratch, for table-free BFS queries
 }
 
 const unreachableHop = math.MaxUint16
+
+// rggScratch is the reusable state of one BFS query. Queries Get one from
+// the pool and Put it back when done; nested queries (a ForEachWithin
+// callback calling Dist) simply check out a second one.
+type rggScratch struct {
+	seen  []int32 // epoch stamps
+	epoch int32
+	depth []uint16
+	queue []NodeID
+	found []NodeID
+}
 
 // NewRGG places n nodes from the seed and connects every pair within the
 // given Euclidean radius. The graph may be disconnected; use Connected
@@ -90,35 +123,136 @@ func rggPoints(n int, seed uint64) (xs, ys []float64) {
 func newRGGFromPoints(xs, ys []float64, radius float64) (*RGG, error) {
 	n := len(xs)
 	g := &RGG{n: n, radius: radius, xs: xs, ys: ys}
-
-	g.adj = make([][]NodeID, n)
-	r2 := radius * radius
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
-			if dx*dx+dy*dy <= r2 {
-				g.adj[i] = append(g.adj[i], NodeID(j))
-				g.adj[j] = append(g.adj[j], NodeID(i))
-			}
-		}
+	if err := g.buildAdjacency(); err != nil {
+		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		if d := len(g.adj[i]); d > g.maxDeg {
-			g.maxDeg = d
-		}
+	if n <= distTableMaxNodes {
+		g.computeDistances()
+	} else {
+		// One BFS per component: 2·ecc(seed) bounds each component's
+		// diameter from above, and the hint must cover the largest (the
+		// graph may legitimately be disconnected before NewConnectedRGG
+		// grows the radius).
+		g.diamHint = 2*g.maxComponentEccentricity() + 2
 	}
-
-	g.computeDistances()
 	g.computeColoring()
 	return g, nil
 }
 
+// maxRGGEdges caps the total directed edge count so the int32 CSR
+// offsets cannot overflow (the old 4096-node cap guaranteed this by
+// construction; the raised node cap needs an explicit guard against
+// dense radius choices).
+const maxRGGEdges = math.MaxInt32
+
+// buildAdjacency fills the CSR via uniform-grid cell bucketing: with a
+// cell side of at least the connection radius, every neighbor of a node
+// lies in its 3×3 cell block. Candidate checks are O(n·density) instead
+// of the naive all-pairs O(n²), and each per-node list is sorted
+// ascending, matching the order the pair loop produced.
+func (g *RGG) buildAdjacency() error {
+	n := g.n
+	// Cell side >= radius keeps the 3×3 block sufficient; capping the
+	// grid at ~√n per axis bounds the bucket arrays by O(n) even for
+	// tiny radii.
+	cells := int(1 / g.radius)
+	if max := int(math.Sqrt(float64(n))) + 1; cells > max {
+		cells = max
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	cellXY := func(i int) (cx, cy int) {
+		cx = int(g.xs[i] * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		cy = int(g.ys[i] * float64(cells))
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	cellOf := func(i int) int {
+		cx, cy := cellXY(i)
+		return cy*cells + cx
+	}
+
+	// Counting sort of the nodes into cells (deterministic: ids stay
+	// ascending within each cell).
+	start := make([]int32, cells*cells+1)
+	for i := 0; i < n; i++ {
+		start[cellOf(i)+1]++
+	}
+	for c := 0; c < cells*cells; c++ {
+		start[c+1] += start[c]
+	}
+	items := make([]NodeID, n)
+	fill := make([]int32, cells*cells)
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		items[start[c]+fill[c]] = NodeID(i)
+		fill[c]++
+	}
+
+	g.off = make([]int32, n+1)
+	g.nbrs = g.nbrs[:0]
+	r2 := g.radius * g.radius
+	for i := 0; i < n; i++ {
+		cx, cy := cellXY(i)
+		row := len(g.nbrs)
+		for dy := -1; dy <= 1; dy++ {
+			ny := cy + dy
+			if ny < 0 || ny >= cells {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				nx := cx + dx
+				if nx < 0 || nx >= cells {
+					continue
+				}
+				c := ny*cells + nx
+				for _, j := range items[start[c]:start[c+1]] {
+					if int(j) == i {
+						continue
+					}
+					ddx, ddy := g.xs[i]-g.xs[j], g.ys[i]-g.ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						g.nbrs = append(g.nbrs, j)
+					}
+				}
+			}
+		}
+		slices.Sort(g.nbrs[row:])
+		if len(g.nbrs) > maxRGGEdges {
+			return fmt.Errorf("topo: rgg n=%d radius=%v exceeds %d edges (CSR offset limit)", g.n, g.radius, maxRGGEdges)
+		}
+		g.off[i+1] = int32(len(g.nbrs))
+		if d := len(g.nbrs) - row; d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	return nil
+}
+
+// neighbors returns the CSR row of id (ascending, shared storage).
+func (g *RGG) neighbors(id NodeID) []NodeID {
+	return g.nbrs[g.off[id]:g.off[id+1]]
+}
+
+// CSR exposes the graph's own CSR adjacency (offsets + ascending
+// neighbor rows, matching the ForEachNeighbor order) so consumers like
+// radio.NewAdjacency can alias it instead of rebuilding an identical
+// copy. The arrays are shared storage and must not be modified.
+func (g *RGG) CSR() (off []int32, nbrs []NodeID) { return g.off, g.nbrs }
+
 // computeDistances runs one BFS per node to fill the all-pairs hop
-// distance table and the diameter.
+// distance table and the exact diameter (small graphs only).
 func (g *RGG) computeDistances() {
 	n := g.n
 	g.dist = make([]uint16, n*n)
 	queue := make([]NodeID, 0, n)
+	diam := 0
 	for src := 0; src < n; src++ {
 		row := g.dist[src*n : (src+1)*n]
 		for i := range row {
@@ -130,7 +264,7 @@ func (g *RGG) computeDistances() {
 			u := queue[0]
 			queue = queue[1:]
 			du := row[u]
-			for _, v := range g.adj[u] {
+			for _, v := range g.neighbors(u) {
 				if row[v] == unreachableHop {
 					row[v] = du + 1
 					queue = append(queue, v)
@@ -138,38 +272,161 @@ func (g *RGG) computeDistances() {
 			}
 		}
 		for _, d := range row {
-			if d != unreachableHop && int(d) > g.diam {
-				g.diam = int(d)
+			if d != unreachableHop && int(d) > diam {
+				diam = int(d)
 			}
 		}
 	}
+	g.diamHint = diam + 2
+}
+
+// getScratch checks a sized BFS scratch out of the pool.
+func (g *RGG) getScratch() *rggScratch {
+	s, _ := g.scratch.Get().(*rggScratch)
+	if s == nil || len(s.seen) != g.n {
+		s = &rggScratch{
+			seen:  make([]int32, g.n),
+			depth: make([]uint16, g.n),
+			queue: make([]NodeID, 0, 256),
+		}
+	}
+	s.epoch++
+	if s.epoch < 0 {
+		s.epoch = 1
+		clear(s.seen)
+	}
+	return s
+}
+
+// bfsDist returns the hop distance from a to b by breadth-first search
+// with early exit, or unreachableHop when b is unreachable.
+func (g *RGG) bfsDist(a, b NodeID) int {
+	if a == b {
+		return 0
+	}
+	s := g.getScratch()
+	defer g.scratch.Put(s)
+	epoch := s.epoch
+	s.seen[a] = epoch
+	s.depth[a] = 0
+	q := append(s.queue[:0], a)
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := s.depth[u]
+		for _, v := range g.neighbors(u) {
+			if s.seen[v] == epoch {
+				continue
+			}
+			if v == b {
+				s.queue = q[:0]
+				return int(du) + 1
+			}
+			s.seen[v] = epoch
+			s.depth[v] = du + 1
+			q = append(q, v)
+		}
+	}
+	s.queue = q[:0]
+	return unreachableHop
+}
+
+// maxComponentEccentricity sweeps every connected component once (one
+// BFS from the lowest-id unvisited node) and returns the largest seed
+// eccentricity found — an O(n+E) pass whose doubled value bounds the
+// hop diameter of every component.
+func (g *RGG) maxComponentEccentricity() int {
+	s := g.getScratch()
+	defer g.scratch.Put(s)
+	epoch := s.epoch
+	maxEcc := 0
+	q := s.queue[:0]
+	for src := 0; src < g.n; src++ {
+		if s.seen[src] == epoch {
+			continue
+		}
+		s.seen[src] = epoch
+		s.depth[src] = 0
+		q = append(q[:0], NodeID(src))
+		for head := 0; head < len(q); head++ {
+			u := q[head]
+			du := s.depth[u]
+			if int(du) > maxEcc {
+				maxEcc = int(du)
+			}
+			for _, v := range g.neighbors(u) {
+				if s.seen[v] != epoch {
+					s.seen[v] = epoch
+					s.depth[v] = du + 1
+					q = append(q, v)
+				}
+			}
+		}
+	}
+	s.queue = q[:0]
+	return maxEcc
+}
+
+// Connected reports whether every node is reachable from node 0.
+func (g *RGG) Connected() bool {
+	if g.dist != nil {
+		for _, d := range g.dist[:g.n] {
+			if d == unreachableHop {
+				return false
+			}
+		}
+		return true
+	}
+	s := g.getScratch()
+	defer g.scratch.Put(s)
+	epoch := s.epoch
+	s.seen[0] = epoch
+	q := append(s.queue[:0], 0)
+	reached := 1
+	for head := 0; head < len(q); head++ {
+		for _, v := range g.neighbors(q[head]) {
+			if s.seen[v] != epoch {
+				s.seen[v] = epoch
+				reached++
+				q = append(q, v)
+			}
+		}
+	}
+	s.queue = q[:0]
+	return reached == g.n
 }
 
 // computeColoring greedily assigns each node (in id order) the smallest
 // color not used within hop distance 2. Two same-colored nodes are
 // therefore at hop distance >= 3 and share no receiver, which makes the
-// schedule collision-free.
+// schedule collision-free. The two-hop walk reads the CSR rows directly
+// and tracks used colors in an id-stamped array — no per-node map, which
+// is what keeps the pass linear-ish at the 100k-node tier.
 func (g *RGG) computeColoring() {
 	n := g.n
 	g.colors = make([]int32, n)
 	for i := range g.colors {
 		g.colors[i] = -1
 	}
-	used := make(map[int32]bool, g.maxDeg*g.maxDeg)
+	usedAt := make([]int32, 0, 4*g.maxDeg)
 	for i := 0; i < n; i++ {
-		clear(used)
-		for _, v := range g.adj[i] {
-			if c := g.colors[v]; c >= 0 {
-				used[c] = true
+		stamp := int32(i) + 1
+		mark := func(c int32) {
+			if c < 0 {
+				return
 			}
-			for _, w := range g.adj[v] {
-				if c := g.colors[w]; c >= 0 {
-					used[c] = true
-				}
+			for int(c) >= len(usedAt) {
+				usedAt = append(usedAt, 0)
+			}
+			usedAt[c] = stamp
+		}
+		for _, v := range g.neighbors(NodeID(i)) {
+			mark(g.colors[v])
+			for _, w := range g.neighbors(v) {
+				mark(g.colors[w])
 			}
 		}
 		var c int32
-		for used[c] {
+		for int(c) < len(usedAt) && usedAt[c] == stamp {
 			c++
 		}
 		g.colors[i] = c
@@ -177,16 +434,6 @@ func (g *RGG) computeColoring() {
 			g.period = int(c) + 1
 		}
 	}
-}
-
-// Connected reports whether every node is reachable from node 0.
-func (g *RGG) Connected() bool {
-	for _, d := range g.dist[:g.n] {
-		if d == unreachableHop {
-			return false
-		}
-	}
-	return true
 }
 
 // Radius returns the Euclidean connection radius.
@@ -202,35 +449,84 @@ func (g *RGG) Size() int { return g.n }
 func (g *RGG) Range() int { return 1 }
 
 // Degree returns the number of neighbors of id.
-func (g *RGG) Degree(id NodeID) int { return len(g.adj[id]) }
+func (g *RGG) Degree(id NodeID) int { return int(g.off[id+1] - g.off[id]) }
 
 // MaxDegree returns the largest degree over all nodes.
 func (g *RGG) MaxDegree() int { return g.maxDeg }
 
 // ForEachNeighbor calls fn for every neighbor of id, ascending.
 func (g *RGG) ForEachNeighbor(id NodeID, fn func(NodeID)) {
-	for _, v := range g.adj[id] {
+	for _, v := range g.neighbors(id) {
 		fn(v)
 	}
 }
 
 // AppendNeighbors appends the neighbors of id to dst and returns it.
 func (g *RGG) AppendNeighbors(dst []NodeID, id NodeID) []NodeID {
-	return append(dst, g.adj[id]...)
+	return append(dst, g.neighbors(id)...)
 }
 
 // Dist returns the hop distance between two nodes; unreachable pairs
-// report a distance larger than any diameter.
-func (g *RGG) Dist(a, b NodeID) int { return int(g.dist[int(a)*g.n+int(b)]) }
+// report a distance larger than any diameter. Small graphs answer from
+// the all-pairs table; large ones run an early-exit BFS (callers query
+// nearby pairs — a victim's neighborhood, a jammer and its transmitter —
+// so the search usually stops within a couple of rings).
+func (g *RGG) Dist(a, b NodeID) int {
+	if g.dist != nil {
+		return int(g.dist[int(a)*g.n+int(b)])
+	}
+	return g.bfsDist(a, b)
+}
 
 // ForEachWithin calls fn for every node within hop distance d of id,
 // excluding id itself, ascending.
 func (g *RGG) ForEachWithin(id NodeID, d int, fn func(NodeID)) {
-	row := g.dist[int(id)*g.n : (int(id)+1)*g.n]
-	for i, hops := range row {
-		if NodeID(i) != id && int(hops) <= d {
-			fn(NodeID(i))
+	if g.dist != nil {
+		row := g.dist[int(id)*g.n : (int(id)+1)*g.n]
+		for i, hops := range row {
+			if NodeID(i) != id && int(hops) <= d {
+				fn(NodeID(i))
+			}
 		}
+		return
+	}
+	if d <= 0 {
+		return
+	}
+	if d == 1 {
+		for _, v := range g.neighbors(id) {
+			fn(v)
+		}
+		return
+	}
+	s := g.getScratch()
+	defer g.scratch.Put(s)
+	epoch := s.epoch
+	s.seen[id] = epoch
+	s.depth[id] = 0
+	q := append(s.queue[:0], id)
+	s.found = s.found[:0]
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := s.depth[u]
+		if int(du) >= d {
+			continue
+		}
+		for _, v := range g.neighbors(u) {
+			if s.seen[v] != epoch {
+				s.seen[v] = epoch
+				s.depth[v] = du + 1
+				q = append(q, v)
+				s.found = append(s.found, v)
+			}
+		}
+	}
+	s.queue = q[:0]
+	slices.Sort(s.found)
+	// Nested queries from fn check out their own scratch, so s.found
+	// stays stable while we iterate.
+	for _, v := range s.found {
+		fn(v)
 	}
 }
 
@@ -242,8 +538,10 @@ func (g *RGG) Coloring() ([]int32, int, error) {
 	return colors, g.period, nil
 }
 
-// DiameterHint returns the exact hop diameter plus slack.
-func (g *RGG) DiameterHint() int { return g.diam + 2 }
+// DiameterHint returns a generous upper bound on the hop diameter: the
+// exact diameter plus slack when the all-pairs table exists, twice an
+// eccentricity plus slack above the table threshold.
+func (g *RGG) DiameterHint() int { return g.diamHint }
 
 // String implements fmt.Stringer.
 func (g *RGG) String() string {

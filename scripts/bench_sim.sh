@@ -1,8 +1,14 @@
 #!/usr/bin/env sh
 # bench_sim.sh — run the engine sweep benchmarks (sparse fast path vs the
-# dense sim/ref baseline, plus the harness parallel variant) and emit
-# BENCH_sim.json, the machine-readable record the CI bench job uploads
-# and the repo checks in as the perf trajectory across PRs.
+# dense sim/ref baseline, the harness parallel variant, and the
+# large-scale tier: the 160×160 torus sweep and the 100k-node RGG
+# single-run) and emit BENCH_sim.json, the machine-readable record the CI
+# bench job uploads and the repo checks in as the perf trajectory across
+# PRs.
+#
+# When the checked-in BENCH_sim.json exists, per-benchmark *_vs_prev
+# speedups are recorded against it and the run FAILS if
+# BenchmarkSweep45Scenario regressed by more than 10% (the CI gate).
 #
 # Usage: scripts/bench_sim.sh [benchtime] [output]
 #   benchtime  go test -benchtime value (default 10x: the sweep is
@@ -14,8 +20,33 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-10x}"
 OUT="${2:-BENCH_sim.json}"
 
+PREVFLAGS=""
+if [ -f BENCH_sim.json ]; then
+  cp BENCH_sim.json /tmp/bench_prev.json
+  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10"
+fi
+
 go build -o /tmp/benchjson ./cmd/benchjson
-go test -run '^$' \
-  -bench 'BenchmarkSweep45(Sequential|Parallel|DenseRef|Runner|Scenario)$' \
-  -benchmem -benchtime "$BENCHTIME" . | tee /dev/stderr | /tmp/benchjson > "$OUT"
+
+# No pipeline: POSIX sh has no pipefail, and a b.Fatal in a later
+# benchmark must fail the script even when the earlier result lines
+# already parsed cleanly.
+RAW=/tmp/bench_raw.txt
+run_suite() {
+  go test -run '^$' -timeout 1800s \
+    -bench 'Benchmark(Sweep45(Sequential|Parallel|DenseRef|Runner|Scenario)|Sweep160Scenario|RGG100kRun)$' \
+    -benchmem -benchtime "$BENCHTIME" . > "$RAW"
+  cat "$RAW" >&2
+}
+
+run_suite
+# Run-to-run variance on shared machines can exceed the 10% gate (the
+# untouched DenseRef baseline has drifted >20% between runs of this
+# container); a single retry separates persistent regressions from
+# noise while keeping real >10% slowdowns fatal.
+if ! /tmp/benchjson $PREVFLAGS < "$RAW" > "$OUT"; then
+  echo "bench_sim.sh: regression gate tripped; rerunning once to rule out noise" >&2
+  run_suite
+  /tmp/benchjson $PREVFLAGS < "$RAW" > "$OUT"
+fi
 echo "wrote $OUT" >&2

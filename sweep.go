@@ -38,12 +38,25 @@ type Sweep struct {
 	Scenarios []*Scenario
 }
 
+// workerPinned is implemented by engines that can hand out a dedicated
+// per-worker instance owning reusable run state. Sweep pins one instance
+// per pool worker, so a sweep never loses its warmed engine state to
+// pool churn and every point runs on the same worker's allocations.
+type workerPinned interface {
+	pinned() Engine
+}
+
 // Stream launches the sweep and returns a channel that yields one
 // SweepPoint per Scenario, in scenario order, each as soon as it (and
 // every earlier point) has finished. The channel is buffered for the
 // whole sweep and closes after the last point, so abandoning it leaks
 // nothing; cancelling ctx makes the remaining points fail fast with
 // ctx.Err().
+//
+// Engines that support it (EngineFast) are pinned per worker: each pool
+// worker runs its points on a private reusable engine, while the
+// topology-derived artifacts (the compiled plan) stay shared across all
+// workers. Reports are identical for any worker count either way.
 func (s *Sweep) Stream(ctx context.Context) <-chan SweepPoint {
 	if ctx == nil {
 		ctx = context.Background()
@@ -56,17 +69,25 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepPoint {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	perWorker := make([]Engine, workers)
+	for w := range perWorker {
+		if p, ok := eng.(workerPinned); ok {
+			perWorker[w] = p.pinned()
+		} else {
+			perWorker[w] = eng
+		}
+	}
 	scenarios := s.Scenarios
 	points := make([]SweepPoint, len(scenarios))
 	ch := make(chan SweepPoint, len(scenarios))
 	go func() {
 		defer close(ch)
-		_ = pool.Ordered(workers, len(scenarios), func(i int) error {
+		_ = pool.OrderedWorker(workers, len(scenarios), func(w, i int) error {
 			pt := SweepPoint{Index: i, Scenario: scenarios[i]}
 			if err := ctx.Err(); err != nil {
 				pt.Err = err // fail fast once cancelled
 			} else {
-				pt.Report, pt.Err = eng.Run(ctx, scenarios[i])
+				pt.Report, pt.Err = perWorker[w].Run(ctx, scenarios[i])
 			}
 			points[i] = pt
 			return nil

@@ -77,6 +77,82 @@ func TestSweepStreamOrderAndDeterminism(t *testing.T) {
 	}
 }
 
+// TestSweepPinnedRunnerMixedTopologies interleaves three topologies
+// (two torus sizes and an RGG) through the same sweep: each pinned
+// per-worker Runner must retarget correctly mid-sweep, and the reports
+// must stay identical for any worker count — the reuse guarantee the
+// pinned-runner optimization must not break.
+func TestSweepPinnedRunnerMixedTopologies(t *testing.T) {
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torA, err := bftbcast.NewTorus(20, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torB, err := bftbcast.NewTorus(15, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgg, err := bftbcast.NewRGG(120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rggParams := bftbcast.Params{R: 1, T: 1, MF: 1}
+	rggSpec, err := bftbcast.NewProtocolB(rggParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() []*bftbcast.Scenario {
+		var out []*bftbcast.Scenario
+		for i := 0; i < 9; i++ {
+			var sc *bftbcast.Scenario
+			var err error
+			switch i % 3 {
+			case 0:
+				sc, err = bftbcast.NewScenario(
+					bftbcast.WithTopology(torA), bftbcast.WithParams(params), bftbcast.WithSpec(spec),
+					bftbcast.WithAdversary(bftbcast.RandomPlacement{T: params.T, Density: 0.05, Seed: uint64(i + 1)}, bftbcast.NewCorruptor()),
+				)
+			case 1:
+				sc, err = bftbcast.NewScenario(
+					bftbcast.WithTopology(torB), bftbcast.WithParams(params), bftbcast.WithSpec(spec),
+					bftbcast.WithAdversary(bftbcast.RandomPlacement{T: params.T, Density: 0.05, Seed: uint64(i + 1)}, bftbcast.NewCorruptor()),
+				)
+			default:
+				sc, err = bftbcast.NewScenario(
+					bftbcast.WithTopology(rgg), bftbcast.WithParams(rggParams), bftbcast.WithSpec(rggSpec),
+					bftbcast.WithAdversary(bftbcast.RandomPlacement{T: rggParams.T, Density: 0.03, Seed: uint64(i + 1)}, bftbcast.NewCorruptor()),
+				)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, sc)
+		}
+		return out
+	}
+	var baseline []bftbcast.SweepPoint
+	for _, workers := range []int{1, 2, 4} {
+		sweep := bftbcast.Sweep{Workers: workers, Scenarios: build()}
+		pts, err := sweep.Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if baseline == nil {
+			baseline = pts
+			continue
+		}
+		for i := range pts {
+			if !reflect.DeepEqual(baseline[i].Report, pts[i].Report) {
+				t.Fatalf("point %d differs between 1 and %d workers", i, workers)
+			}
+		}
+	}
+}
+
 // TestSweepRun checks the collecting wrapper and its first-error
 // contract (an actor-engine sweep over adversarial scenarios fails on
 // every point; Run must surface point 0's error and still return all
