@@ -172,6 +172,50 @@ func BenchmarkSweep45Scenario(b *testing.B) {
 	})
 }
 
+// BenchmarkReactiveSweep is the re-platformed Section 5 tier: an 8-point
+// sweep of the reactive protocol (15×15 torus, t=1, mf=3, disruption
+// attacks, one seed per point) through the public Sweep harness on one
+// worker. Before the protocol seam the reactive runtime had no sweep
+// path at all; this records what reactive scenarios cost on the shared
+// engine stack (AUED encode/decode per data round dominates).
+func BenchmarkReactiveSweep(b *testing.B) {
+	tor, err := bftbcast.NewTorus(15, 15, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(bftbcast.Params{R: 2, T: 1, MF: 3}),
+		bftbcast.WithProtocol(bftbcast.ProtocolReactive),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scenarios := make([]*bftbcast.Scenario, 8)
+		for j := range scenarios {
+			scenarios[j], err = base.With(
+				bftbcast.WithSeed(uint64(j+1)),
+				bftbcast.WithPlacement(bftbcast.RandomPlacement{T: 1, Density: 0.06, Seed: uint64(j + 1)}),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		pts, err := (&bftbcast.Sweep{Workers: 1, Scenarios: scenarios}).Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, pt := range pts {
+			if !pt.Report.Completed {
+				b.Fatalf("reactive sweep point %d did not complete", j)
+			}
+		}
+	}
+}
+
 // --- Large-scale tier (compiled topology plans) ---
 
 // BenchmarkSweep160Scenario is the large-scale sweep tier: 8 points of

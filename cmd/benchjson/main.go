@@ -15,10 +15,13 @@
 //
 // With -prev, every benchmark present in both runs gains a
 // "<name>_vs_prev" speedup entry (previous ns/op over current ns/op;
-// above 1 is faster). With -max-regress name:factor the command exits
-// non-zero — after writing the document — when the named benchmark is
-// slower than factor times its -prev ns/op, which is how the CI bench
-// job fails pull requests on >10% regressions of the guarded benchmark.
+// above 1 is faster). With -max-regress the command exits non-zero —
+// after writing the document — when a guarded benchmark regressed past
+// its factor against -prev, which is how the CI bench job fails pull
+// requests on >10% regressions. -max-regress takes a comma-separated
+// list of gates; each is name:factor (guarding ns/op) or
+// name:allocs:factor (guarding allocs/op, the hot-path allocation
+// budget, e.g. BenchmarkBVDeliver:allocs:1.10).
 package main
 
 import (
@@ -52,7 +55,7 @@ type Doc struct {
 
 func main() {
 	prevPath := flag.String("prev", "", "previous BENCH_sim.json to compute *_vs_prev speedups against")
-	maxRegress := flag.String("max-regress", "", "name:factor — fail when the named benchmark is slower than factor × its -prev ns/op")
+	maxRegress := flag.String("max-regress", "", "comma-separated gates name:factor (ns/op) or name:allocs:factor (allocs/op) — fail when a guarded benchmark regressed past factor × its -prev value")
 	flag.Parse()
 	if err := run(os.Stdin, os.Stdout, *prevPath, *maxRegress); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -121,33 +124,75 @@ func run(in io.Reader, out io.Writer, prevPath, maxRegress string) error {
 	}
 
 	if maxRegress != "" {
-		name, factorStr, ok := strings.Cut(maxRegress, ":")
-		if !ok {
-			return fmt.Errorf("-max-regress wants name:factor, got %q", maxRegress)
-		}
-		factor, err := strconv.ParseFloat(factorStr, 64)
-		if err != nil || factor <= 0 {
-			return fmt.Errorf("-max-regress factor %q", factorStr)
-		}
 		if prev == nil {
 			return fmt.Errorf("-max-regress needs -prev")
 		}
 		// ns/op only compare meaningfully on the machine class that
 		// produced the snapshot: cross-machine deltas dwarf any real
-		// regression, so the gate is skipped (loudly) when the CPU
-		// differs and the *_vs_prev entries are left as advisory.
-		if prev.CPU != "" && doc.CPU != prev.CPU {
-			fmt.Fprintf(os.Stderr, "benchjson: -max-regress skipped: cpu %q differs from snapshot %q\n", doc.CPU, prev.CPU)
-			return nil
+		// regression, so the timing gates are skipped (loudly) when the
+		// CPU differs and the *_vs_prev entries are left as advisory.
+		// Allocation gates are machine-independent and always enforced.
+		cpuMatch := prev.CPU == "" || doc.CPU == prev.CPU
+		if !cpuMatch {
+			fmt.Fprintf(os.Stderr, "benchjson: ns/op gates skipped: cpu %q differs from snapshot %q\n", doc.CPU, prev.CPU)
 		}
-		cur, old := find(doc.Benchmarks, name), find(prev.Benchmarks, name)
-		if cur == nil || old == nil {
-			return fmt.Errorf("-max-regress: %s missing from current or previous run", name)
+		for _, gate := range strings.Split(maxRegress, ",") {
+			if err := checkGate(strings.TrimSpace(gate), &doc, prev, cpuMatch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkGate enforces one -max-regress entry: name:factor (ns/op) or
+// name:allocs:factor (allocs/op).
+func checkGate(gate string, doc, prev *Doc, cpuMatch bool) error {
+	parts := strings.Split(gate, ":")
+	var (
+		name, metric string
+		factorStr    string
+	)
+	switch len(parts) {
+	case 2:
+		name, metric, factorStr = parts[0], "ns", parts[1]
+	case 3:
+		name, metric, factorStr = parts[0], parts[1], parts[2]
+	default:
+		return fmt.Errorf("-max-regress wants name:factor or name:allocs:factor, got %q", gate)
+	}
+	factor, err := strconv.ParseFloat(factorStr, 64)
+	if err != nil || factor <= 0 {
+		return fmt.Errorf("-max-regress factor %q", factorStr)
+	}
+	cur, old := find(doc.Benchmarks, name), find(prev.Benchmarks, name)
+	if cur == nil {
+		return fmt.Errorf("-max-regress: %s missing from current run", name)
+	}
+	if old == nil {
+		// A benchmark newly added to the suite has no previous value to
+		// gate against; it joins the snapshot now and gates next time.
+		fmt.Fprintf(os.Stderr, "benchjson: gate %s skipped: not in previous snapshot\n", name)
+		return nil
+	}
+	switch metric {
+	case "ns":
+		if !cpuMatch {
+			return nil
 		}
 		if cur.NsPerOp > old.NsPerOp*factor {
 			return fmt.Errorf("regression: %s %.1fms/op vs previous %.1fms/op (limit %.0f%%)",
 				name, cur.NsPerOp/1e6, old.NsPerOp/1e6, (factor-1)*100)
 		}
+	case "allocs":
+		// +1 absolute headroom keeps a tiny baseline (a handful of
+		// allocations) from failing on one amortized slice growth.
+		if float64(cur.AllocsPerOp) > float64(old.AllocsPerOp)*factor+1 {
+			return fmt.Errorf("regression: %s %d allocs/op vs previous %d (limit %.0f%%)",
+				name, cur.AllocsPerOp, old.AllocsPerOp, (factor-1)*100)
+		}
+	default:
+		return fmt.Errorf("-max-regress metric %q (want ns or allocs)", metric)
 	}
 	return nil
 }

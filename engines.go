@@ -6,29 +6,32 @@ import (
 
 	"bftbcast/internal/actor"
 	"bftbcast/internal/grid"
+	"bftbcast/internal/protocol"
 	"bftbcast/internal/radio"
-	"bftbcast/internal/reactive"
 	"bftbcast/internal/sim"
 	"bftbcast/internal/sim/ref"
 )
 
-// Engine executes a backend-neutral Scenario. Four implementations are
-// provided: EngineFast (the sparse slot-level simulation engine),
+// Engine executes a backend-neutral Scenario. Three execution backends
+// are provided — EngineFast (the sparse slot-level simulation engine),
 // EngineRef (the dense reference engine, verified bit-identical to
-// EngineFast by the differential oracle), EngineActor (the
-// goroutine-per-node concurrent runtime, fault-free only), and
-// EngineReactive (the Section 5 unknown-mf runtime).
+// EngineFast by the differential oracle) and EngineActor (the
+// goroutine-per-node concurrent runtime, fault-free only) — and each of
+// them drives the Scenario's protocol state machine (Scenario.Protocol):
+// the threshold family from Spec, or the Section 5 reactive protocol.
+// EngineReactive remains as a deprecated alias for "the fast engine with
+// ProtocolReactive".
 type Engine interface {
 	// Name identifies the engine ("fast", "ref", "actor", "reactive").
 	Name() string
 	// Run executes the scenario. Cancellation is cooperative: every
-	// backend checks ctx once per slot (or message round) and returns
-	// ctx.Err() when it fires, honoring deadlines; the actor backend
-	// additionally tears down its node goroutines before returning.
+	// backend checks ctx once per slot and returns ctx.Err() when it
+	// fires, honoring deadlines; the actor backend additionally tears
+	// down its node goroutines before returning.
 	Run(ctx context.Context, sc *Scenario) (*Report, error)
 }
 
-// The four execution backends.
+// The execution backends.
 var (
 	// EngineFast is the sparse slot-level simulation engine (the
 	// production path; reuses pooled engine state across runs).
@@ -39,14 +42,19 @@ var (
 	// EngineActor is the goroutine-per-node concurrent runtime. It is
 	// fault-free only and rejects scenarios with an adversary.
 	EngineActor Engine = actorEngine{}
-	// EngineReactive is the Section 5 runtime for unknown adversary
+	// EngineReactive runs the Section 5 protocol for unknown adversary
 	// budgets (AUED coding + NACK-driven retransmission + certified
-	// propagation). The adversary is selected by Reactive.Policy, not by
-	// a Strategy.
+	// propagation) on the fast engine.
+	//
+	// Deprecated: the reactive protocol is a Scenario property now, not
+	// a backend — set WithProtocol(ProtocolReactive) and run on any
+	// engine. EngineReactive remains as a thin alias that forces the
+	// protocol and reports Engine "reactive".
 	EngineReactive Engine = reactiveEngine{}
 )
 
-// Engines returns the four execution backends.
+// Engines returns the execution backends (including the deprecated
+// reactive alias).
 func Engines() []Engine {
 	return []Engine{EngineFast, EngineRef, EngineActor, EngineReactive}
 }
@@ -62,6 +70,62 @@ func NewEngine(name string) (Engine, error) {
 	return nil, fmt.Errorf("bftbcast: unknown engine %q (want fast, ref, actor or reactive)", name)
 }
 
+// scenarioMachine resolves the Scenario's protocol selection: nil for
+// the default threshold protocol (the engines execute Spec through their
+// built-in instance), or a freshly built reactive machine.
+func scenarioMachine(sc *Scenario) (*protocol.Reactive, error) {
+	if sc.Protocol != ProtocolReactive {
+		return nil, nil
+	}
+	if sc.Strategy != nil {
+		return nil, fmt.Errorf("bftbcast: the reactive protocol drives bad nodes through Reactive.Policy, not a Strategy")
+	}
+	// The quiet-window and per-broadcast round-cap knobs only exist in
+	// the sequential scheduler: on the engine stack a local broadcast
+	// ends when a data round draws no NACK, and runs are capped by
+	// MaxSlots. Reject them instead of silently changing semantics.
+	if sc.Reactive.QuietWindow != 0 || sc.Reactive.MaxRoundsPerBroadcast != 0 {
+		return nil, fmt.Errorf("bftbcast: ReactiveSpec.QuietWindow and MaxRoundsPerBroadcast only apply to the deprecated sequential RunReactive wrapper; on the engines use WithMaxSlots to cap runs (see DESIGN.md §10)")
+	}
+	mmax := sc.Reactive.MMax
+	if mmax == 0 {
+		mmax = 64
+		if sc.Params.MF > mmax {
+			mmax = sc.Params.MF
+		}
+	}
+	payload := sc.Reactive.PayloadBits
+	if payload == 0 {
+		payload = 16
+	}
+	return &protocol.Reactive{MMax: mmax, PayloadBits: payload, Policy: sc.Reactive.Policy}, nil
+}
+
+// finishReport decorates an engine report with the machine's run record
+// (a no-op for the default threshold protocol). Every engine funnels its
+// report through here so a protocol's Report extension cannot be dropped
+// by one backend.
+func finishReport(rep *Report, machine *protocol.Reactive) *Report {
+	if machine != nil {
+		attachReactive(rep, machine.TakeStats())
+	}
+	return rep
+}
+
+// loweredConfig resolves the Scenario's protocol machine and lowers the
+// Scenario to the slot-level engines' config in one step.
+func loweredConfig(sc *Scenario) (sim.Config, *protocol.Reactive, error) {
+	machine, err := scenarioMachine(sc)
+	if err != nil {
+		return sim.Config{}, nil, err
+	}
+	cfg := simConfig(sc)
+	if machine != nil {
+		cfg.Machine = machine
+	}
+	return cfg, machine, nil
+}
+
 // simConfig lowers a Scenario to the slot-level engines' config,
 // including the Observer-to-callback bridge.
 func simConfig(sc *Scenario) sim.Config {
@@ -72,6 +136,7 @@ func simConfig(sc *Scenario) sim.Config {
 		Source:    sc.Source,
 		Placement: sc.Placement,
 		Strategy:  sc.Strategy,
+		Seed:      sc.Seed,
 		MaxSlots:  sc.MaxSlots,
 	}
 	if obs := sc.Observer; obs != nil {
@@ -98,20 +163,30 @@ func (fastEngine) Name() string { return "fast" }
 
 // Run implements Engine.
 func (e fastEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
+	return e.run(ctx, sc, "fast")
+}
+
+// run executes sc, reporting under the given engine name (the reactive
+// alias reuses this path under its legacy name).
+func (e fastEngine) run(ctx context.Context, sc *Scenario, name string) (*Report, error) {
 	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	cfg, machine, err := loweredConfig(sc)
 	if err != nil {
 		return nil, err
 	}
 	var res *sim.Result
 	if e.runner != nil {
-		res, err = e.runner.RunContext(ctx, simConfig(sc))
+		res, err = e.runner.RunContext(ctx, cfg)
 	} else {
-		res, err = sim.RunContext(ctx, simConfig(sc))
+		res, err = sim.RunContext(ctx, cfg)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return reportFromSim("fast", res), nil
+	return finishReport(reportFromSim(name, res), machine), nil
 }
 
 // pinned implements workerPinned: each sweep worker gets an engine with
@@ -129,11 +204,15 @@ func (refEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := ref.RunContext(ctx, simConfig(sc))
+	cfg, machine, err := loweredConfig(sc)
 	if err != nil {
 		return nil, err
 	}
-	return reportFromSim("ref", res), nil
+	res, err := ref.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return finishReport(reportFromSim("ref", res), machine), nil
 }
 
 type actorEngine struct{}
@@ -150,12 +229,20 @@ func (actorEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
 	if sc.Placement != nil || sc.Strategy != nil {
 		return nil, fmt.Errorf("bftbcast: the actor engine is fault-free; run adversarial scenarios on the fast or ref engine")
 	}
+	machine, err := scenarioMachine(sc)
+	if err != nil {
+		return nil, err
+	}
 	cfg := actor.Config{
 		Topo:     sc.Topo,
 		Params:   sc.Params,
 		Spec:     sc.Spec,
 		Source:   sc.Source,
+		Seed:     sc.Seed,
 		MaxSlots: sc.MaxSlots,
+	}
+	if machine != nil {
+		cfg.Machine = machine
 	}
 	if obs := sc.Observer; obs != nil {
 		cfg.OnSlotStart = obs.SlotStart
@@ -167,7 +254,7 @@ func (actorEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return reportFromActor(res, sc.Source), nil
+	return finishReport(reportFromActor(res, sc.Source), machine), nil
 }
 
 type reactiveEngine struct{}
@@ -175,50 +262,10 @@ type reactiveEngine struct{}
 // Name implements Engine.
 func (reactiveEngine) Name() string { return "reactive" }
 
-// Run implements Engine.
+// Run implements Engine: force ProtocolReactive and execute on the fast
+// engine (the deprecated alias path).
 func (reactiveEngine) Run(ctx context.Context, sc *Scenario) (*Report, error) {
-	sc, err := sc.normalized()
-	if err != nil {
-		return nil, err
-	}
-	if sc.Strategy != nil {
-		return nil, fmt.Errorf("bftbcast: the reactive engine drives bad nodes through Reactive.Policy, not a Strategy")
-	}
-	mmax := sc.Reactive.MMax
-	if mmax == 0 {
-		mmax = 64
-		if sc.Params.MF > mmax {
-			mmax = sc.Params.MF
-		}
-	}
-	payload := sc.Reactive.PayloadBits
-	if payload == 0 {
-		payload = 16
-	}
-	cfg := reactive.Config{
-		Topo:                  sc.Topo,
-		T:                     sc.Params.T,
-		MF:                    sc.Params.MF,
-		MMax:                  mmax,
-		PayloadBits:           payload,
-		Source:                sc.Source,
-		Placement:             sc.Placement,
-		Policy:                sc.Reactive.Policy,
-		Seed:                  sc.Seed,
-		QuietWindow:           sc.Reactive.QuietWindow,
-		MaxRoundsPerBroadcast: sc.Reactive.MaxRoundsPerBroadcast,
-	}
-	if obs := sc.Observer; obs != nil {
-		cfg.OnSlotStart = obs.SlotStart
-		cfg.OnSend = func(round int, from grid.NodeID, v radio.Value, adversarial bool) {
-			obs.Send(round, from, v, adversarial)
-		}
-		cfg.OnDeliver = func(round int, d radio.Delivery) { obs.Deliver(round, d.From, d.To, d.Value) }
-		cfg.OnDecide = func(round int, id grid.NodeID, v radio.Value) { obs.Decide(round, id, v) }
-	}
-	res, err := reactive.RunContext(ctx, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return reportFromReactive(res, sc.Source), nil
+	forced := *sc
+	forced.Protocol = ProtocolReactive
+	return fastEngine{}.run(ctx, &forced, "reactive")
 }

@@ -1,8 +1,10 @@
 // Unknownbudget demonstrates Section 5: when the adversary's budget mf is
 // unknown, protocol Breactive combines the cryptography-free AUED coding
 // scheme with NACK-driven retransmission and certified propagation. The
-// example runs the three attack policies through the reactive engine and
-// compares per-node message costs with the Theorem 4 budget.
+// example runs the three attack policies as the reactive protocol
+// machine on the fast engine — and cross-checks one of them on the
+// dense reference engine, which must agree bit for bit — comparing
+// per-node message costs with the Theorem 4 budget.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	base, err := bftbcast.NewScenario(
 		bftbcast.WithTopology(tor),
 		bftbcast.WithParams(bftbcast.Params{R: tor.Range(), T: t, MF: mf}),
+		bftbcast.WithProtocol(bftbcast.ProtocolReactive),
 		bftbcast.WithSource(tor.ID(0, 0)),
 		bftbcast.WithPlacement(bftbcast.RandomPlacement{T: t, Density: 0.06, Seed: 13}),
 		bftbcast.WithSeed(17),
@@ -47,7 +50,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := bftbcast.EngineReactive.Run(context.Background(), sc)
+		rep, err := bftbcast.EngineFast.Run(context.Background(), sc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,4 +63,24 @@ func main() {
 				res.CodewordBits, res.SubBitLength, res.MaxNodeSubSlots, res.Theorem4SubSlots)
 		}
 	}
+
+	// The protocol runs on any engine: the dense reference backend must
+	// reproduce the fast engine's disruption run exactly.
+	sc, err := base.With(bftbcast.WithReactive(bftbcast.ReactiveSpec{
+		MMax: mmax, PayloadBits: k, Policy: bftbcast.PolicyDisrupt,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fastRep, err := bftbcast.EngineFast.Run(context.Background(), sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refRep, err := bftbcast.EngineRef.Run(context.Background(), sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cross-check: fast slots=%d rounds=%d == ref slots=%d rounds=%d\n",
+		fastRep.Slots, fastRep.Reactive.MessageRounds,
+		refRep.Slots, refRep.Reactive.MessageRounds)
 }

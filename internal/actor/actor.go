@@ -21,6 +21,7 @@ import (
 	"bftbcast/internal/core"
 	"bftbcast/internal/grid"
 	"bftbcast/internal/plan"
+	"bftbcast/internal/protocol"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/topo"
 )
@@ -28,9 +29,17 @@ import (
 // Config describes a fault-free concurrent run.
 type Config struct {
 	// Topo is the network topology (grid.Torus, topo.Bounded, topo.RGG).
-	Topo     topo.Topology
-	Params   core.Params
-	Spec     core.Spec
+	Topo   topo.Topology
+	Params core.Params
+	// Spec is the threshold protocol, run on the fully distributed
+	// per-node state machines below. Ignored when Machine is set.
+	Spec core.Spec
+	// Machine, when non-nil, selects a custom protocol state machine
+	// driven by the coordinator (see machine.go); the node goroutines
+	// keep the transmission mechanics.
+	Machine protocol.Machine
+	// Seed drives machine-level randomness (Machine runs only).
+	Seed     uint64
 	Source   grid.NodeID
 	MaxSlots int
 	// OnSlotStart, when non-nil, observes every coordinated slot.
@@ -153,6 +162,9 @@ func Run(cfg Config) (*Result, error) {
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cfg.Machine != nil {
+		return runMachine(ctx, cfg)
 	}
 	if cfg.Topo == nil {
 		return nil, errors.New("actor: config needs a topology")

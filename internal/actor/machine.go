@@ -1,0 +1,270 @@
+package actor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"bftbcast/internal/grid"
+	"bftbcast/internal/plan"
+	"bftbcast/internal/protocol"
+	"bftbcast/internal/radio"
+)
+
+// This file is the machine-driven variant of the concurrent runtime: the
+// transmission mechanics stay goroutine-per-node (each node owns its
+// pending counter, transmit value and sent tally, exercised under the
+// race detector through real channel traffic), while the protocol brain
+// is a protocol.Instance driven by the coordinator after each slot's
+// delivery barrier — machines are single-goroutine by contract, exactly
+// like the Observer callbacks already were. Spec runs keep the fully
+// distributed inline path in actor.go; custom machines (the Section 5
+// reactive protocol, fault-free here like everything else in this
+// package) run through this loop.
+
+// mnode is the per-goroutine transmission actor of the machine path.
+type mnode struct {
+	id      grid.NodeID
+	value   radio.Value
+	pending int
+	sent    int32
+	cmds    chan mcommand
+}
+
+type mcmdKind int
+
+const (
+	mcmdQuery mcmdKind = iota + 1
+	mcmdSched
+	mcmdStop
+)
+
+type mcommand struct {
+	kind  mcmdKind
+	value radio.Value
+	n     int
+	reply chan mreply
+}
+
+type mreply struct {
+	emit  bool
+	value radio.Value
+	sent  int32
+}
+
+func (n *mnode) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for cmd := range n.cmds {
+		switch cmd.kind {
+		case mcmdQuery:
+			r := mreply{}
+			if n.pending > 0 {
+				n.pending--
+				n.sent++
+				r = mreply{emit: true, value: n.value}
+			}
+			cmd.reply <- r
+		case mcmdSched:
+			n.value = cmd.value
+			n.pending += cmd.n
+			cmd.reply <- mreply{}
+		case mcmdStop:
+			cmd.reply <- mreply{sent: n.sent}
+			return
+		}
+	}
+}
+
+// runMachine executes cfg with one transmission goroutine per node and
+// cfg.Machine as the protocol.
+func runMachine(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Topo == nil {
+		return nil, errors.New("actor: config needs a topology")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Params.R != cfg.Topo.Range() {
+		return nil, fmt.Errorf("actor: params r=%d but topology r=%d", cfg.Params.R, cfg.Topo.Range())
+	}
+	p := plan.For(cfg.Topo)
+	schedule, err := p.TDMA()
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Topo.Size()
+	if int(cfg.Source) < 0 || int(cfg.Source) >= n {
+		return nil, fmt.Errorf("actor: source %d out of range", cfg.Source)
+	}
+
+	inst, err := cfg.Machine.Attach(protocol.Env{
+		Plan:   p,
+		Params: cfg.Params,
+		Source: cfg.Source,
+		Seed:   cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := inst.State()
+	hooks := protocol.Hooks{
+		OnDeliver: cfg.OnDeliver,
+		OnAccept:  cfg.OnAccept,
+	}
+	if cfg.OnSend != nil {
+		// The fault-free runtime has no adversarial sends; bridge the
+		// machine's hook to the actor callback shape anyway.
+		hooks.OnSend = func(slot int, from grid.NodeID, v radio.Value, _ bool) {
+			cfg.OnSend(slot, from, v)
+		}
+	}
+
+	nodes := make([]*mnode, n)
+	// One reply channel per node, allocated once and reused every slot:
+	// the coordinator fully drains each slot's replies before the next
+	// command reaches the node, so a buffered(1) channel never carries
+	// two outstanding replies.
+	replies := make([]chan mreply, n)
+	var nodeWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		nodes[i] = &mnode{id: grid.NodeID(i), cmds: make(chan mcommand, 1)}
+		replies[i] = make(chan mreply, 1)
+	}
+	nodeWG.Add(n)
+	for _, nd := range nodes {
+		go nd.run(&nodeWG)
+	}
+
+	colorNodes := p.ColorClasses() // shared, read-only
+	medium := radio.NewMediumShared(p.Adjacency())
+
+	maxSlots := cfg.MaxSlots
+	if maxSlots <= 0 {
+		sourceSends, maxSends := inst.Sizing()
+		maxSlots = schedule.Period() * (sourceSends +
+			cfg.Topo.DiameterHint()*(maxSends+1) + 2*schedule.Period())
+	}
+
+	// Per-node message budgets, enforced at scheduling time on the
+	// coordinator (the node goroutines own emission, so the slot
+	// engines' emission-time TrySpend has no home here): clamping every
+	// Send against the remaining budget yields the same emission stream,
+	// because pending sends drain in order. The source stays unlimited,
+	// mirroring the slot engines.
+	budget := make([]int, n)
+	for i := range budget {
+		if grid.NodeID(i) == cfg.Source {
+			budget[i] = -1
+		} else {
+			budget[i] = inst.GoodBudget(grid.NodeID(i))
+		}
+	}
+	schedReply := make(chan mreply, 1)
+	var pendingTotal int64
+	schedule1 := func(s protocol.Send) {
+		sn := s.N
+		if left := budget[s.ID]; left >= 0 {
+			if sn > left {
+				sn = left
+			}
+			budget[s.ID] = left - sn
+		}
+		if sn <= 0 {
+			return
+		}
+		nodes[s.ID].cmds <- mcommand{kind: mcmdSched, value: st.Value[s.ID], n: sn, reply: schedReply}
+		<-schedReply
+		pendingTotal += int64(sn)
+	}
+	for _, s := range inst.Bootstrap(nil) {
+		schedule1(s)
+	}
+
+	var (
+		txs        []radio.Tx
+		deliveries []radio.Delivery
+		sendBuf    []protocol.Send
+		runErr     error
+		goodMsgs   int
+	)
+	slot := 0
+	for ; pendingTotal > 0 && slot < maxSlots; slot++ {
+		if runErr = ctx.Err(); runErr != nil {
+			break
+		}
+		if cfg.OnSlotStart != nil {
+			cfg.OnSlotStart(slot)
+		}
+		color := schedule.SlotColor(slot)
+		// Query the slot's color class concurrently.
+		candidates := colorNodes[color]
+		for _, id := range candidates {
+			nodes[id].cmds <- mcommand{kind: mcmdQuery, reply: replies[id]}
+		}
+		txs = txs[:0]
+		for _, id := range candidates {
+			r := <-replies[id]
+			if r.emit {
+				pendingTotal--
+				goodMsgs++
+				if cfg.OnSend != nil {
+					cfg.OnSend(slot, id, r.value)
+				}
+				txs = append(txs, radio.Tx{From: id, Value: r.value})
+			}
+		}
+		if len(txs) == 0 {
+			continue
+		}
+		deliveries = deliveries[:0]
+		if deliveries, err = medium.ResolveAppend(txs, deliveries); err != nil {
+			runErr = err
+			break
+		}
+		if len(deliveries) == 0 {
+			continue
+		}
+		sendBuf = sendBuf[:0]
+		if sendBuf, err = inst.Deliver(slot, deliveries, &hooks, sendBuf); err != nil {
+			runErr = err
+			break
+		}
+		sendBuf = inst.Tick(slot, sendBuf)
+		for _, s := range sendBuf {
+			schedule1(s)
+		}
+	}
+
+	// Stop all nodes and gather final states. The stop sweep runs on
+	// cancellation and machine errors too, so no failure mode leaves
+	// node goroutines behind.
+	res := &Result{
+		Slots: slot, TotalGood: n,
+		TimedOut:     pendingTotal > 0 && slot >= maxSlots,
+		GoodMessages: goodMsgs,
+		Sent:         make([]int32, n),
+	}
+	stopCh := make(chan mreply, 1)
+	for i, nd := range nodes {
+		nd.cmds <- mcommand{kind: mcmdStop, reply: stopCh}
+		res.Sent[i] = (<-stopCh).sent
+	}
+	nodeWG.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	inst.Finish(slot)
+	res.Decided = append([]bool(nil), st.Decided...)
+	res.DecidedValue = append([]radio.Value(nil), st.Value...)
+	completed := true
+	for i := 0; i < n; i++ {
+		if res.Decided[i] && res.DecidedValue[i] == radio.ValueTrue {
+			res.DecidedGood++
+		} else {
+			completed = false
+		}
+	}
+	res.Completed = completed && pendingTotal == 0
+	return res, nil
+}

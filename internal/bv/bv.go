@@ -1,4 +1,4 @@
-// Package bv implements the certified-propagation broadcast protocol of
+// Package bv exposes the certified-propagation broadcast protocol of
 // Bhandari and Vaidya [3] (after Koo [13]), which protocol Breactive runs
 // on top of the reliable local broadcast primitive of Section 5.
 //
@@ -18,6 +18,12 @@
 // transmitter's own slot, and the coding layer (package auedcode) makes
 // undetected spoofing succeed only with probability 2^-L. Bhandari and
 // Vaidya prove this propagation completes exactly when t < ½r(2r+1).
+//
+// The acceptance state machine itself lives in internal/protocol (the
+// distinct-relayer window-certified mode of protocol.Acceptance), the
+// single home of acceptance logic shared with the execution engines;
+// Protocol here is a thin wrapper that adds the relay-scheduling cursor
+// the sequential reactive runtime drives (NextRelay).
 package bv
 
 import (
@@ -25,37 +31,21 @@ import (
 	"fmt"
 
 	"bftbcast/internal/grid"
+	"bftbcast/internal/protocol"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/topo"
 )
 
 // MaxToleratedT returns the certified-propagation fault threshold
 // ⌈½r(2r+1)⌉−1: the protocol works for t strictly below ½r(2r+1).
-func MaxToleratedT(r int) int {
-	return (r*(2*r+1)+1)/2 - 1
-}
-
-// relayEntry is one recorded relay: relayer from vouched for value v.
-// Undecided nodes hold a short flat list of these instead of a per-value
-// map — the list stays tiny (a node decides after at most t+1 entries of
-// one value plus whatever wrong values the adversary planted), so linear
-// scans beat hashing and the per-run memory is O(n) with small constants.
-type relayEntry struct {
-	from grid.NodeID
-	v    radio.Value
-}
+func MaxToleratedT(r int) int { return protocol.CPMaxT(r) }
 
 // Protocol tracks acceptance state for every node of a topology. It is
 // driven by Deliver calls from a transport (package reactive) and reports
 // newly decided nodes through the OnAccept callback.
 type Protocol struct {
+	acc       *protocol.Acceptance
 	tor       topo.Topology
-	t         int
-	source    grid.NodeID
-	decided   []bool
-	value     []radio.Value
-	relayers  [][]relayEntry // per node, flat (value, relayer) records
-	scratch   []grid.NodeID  // relayer-list assembly for certification
 	harvested []bool
 	// OnAccept, when non-nil, observes each acceptance.
 	OnAccept func(id grid.NodeID, v radio.Value)
@@ -73,141 +63,48 @@ func New(tor topo.Topology, t int, source grid.NodeID) (*Protocol, error) {
 	if int(source) < 0 || int(source) >= tor.Size() {
 		return nil, fmt.Errorf("bv: source %d out of range", source)
 	}
-	p := &Protocol{
-		tor:      tor,
-		t:        t,
-		source:   source,
-		decided:  make([]bool, tor.Size()),
-		value:    make([]radio.Value, tor.Size()),
-		relayers: make([][]relayEntry, tor.Size()),
+	acc, err := protocol.NewAcceptance(protocol.AcceptConfig{
+		Topo:         tor,
+		Source:       source,
+		Threshold:    t + 1,
+		Distinct:     true,
+		SourceDirect: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bv: %w", err)
 	}
-	p.decided[source] = true
-	p.value[source] = radio.ValueTrue
+	p := &Protocol{acc: acc, tor: tor}
+	acc.OnAccept = func(id grid.NodeID, v radio.Value) {
+		if p.OnAccept != nil {
+			p.OnAccept(id, v)
+		}
+	}
 	return p, nil
 }
 
 // Source returns the base station node.
-func (p *Protocol) Source() grid.NodeID { return p.source }
+func (p *Protocol) Source() grid.NodeID { return p.acc.Source() }
 
 // Decided reports whether id has accepted, and which value.
 func (p *Protocol) Decided(id grid.NodeID) (radio.Value, bool) {
-	return p.value[id], p.decided[id]
+	return p.acc.DecidedValue(id)
 }
 
 // DecidedCount returns how many nodes have accepted a value.
-func (p *Protocol) DecidedCount() int {
-	n := 0
-	for _, d := range p.decided {
-		if d {
-			n++
-		}
-	}
-	return n
-}
+func (p *Protocol) DecidedCount() int { return p.acc.DecidedCount() }
 
 // Deliver processes a (reliably) received relay at node to: value v
 // claimed by relayer from. It returns true when the delivery caused to to
 // accept. Deliveries to already-decided nodes and self-deliveries are
 // ignored.
 func (p *Protocol) Deliver(to, from grid.NodeID, v radio.Value) bool {
-	if p.decided[to] || to == from {
-		return false
-	}
-	if p.tor.Dist(to, from) > p.tor.Range() {
-		return false // out of radio range; transport bug
-	}
-	// Direct reception from the source is accepted outright.
-	if from == p.source {
-		p.accept(to, v)
-		return true
-	}
-	entries := p.relayers[to]
-	count := 0
-	for _, e := range entries {
-		if e.v != v {
-			continue
-		}
-		if e.from == from {
-			return false // duplicate relayer
-		}
-		count++
-	}
-	if entries == nil {
-		// One right-sized allocation per undecided node: t+1 entries
-		// certify, so t+2 covers the common case with one wrong value.
-		entries = make([]relayEntry, 0, p.t+2)
-	}
-	p.relayers[to] = append(entries, relayEntry{from: from, v: v})
-	if count+1 < p.t+1 {
-		return false
-	}
-	// Assemble the distinct relayers of v into the reusable scratch for
-	// the window certification.
-	list := p.scratch[:0]
-	for _, e := range p.relayers[to] {
-		if e.v == v {
-			list = append(list, e.from)
-		}
-	}
-	p.scratch = list
-	if p.windowCertified(list) {
-		p.accept(to, v)
-		return true
-	}
-	return false
-}
-
-// windowCertified reports whether the closed neighborhood ball of some
-// node contains at least t+1 of the given relayers.
-func (p *Protocol) windowCertified(relayers []grid.NodeID) bool {
-	if p.t == 0 {
-		return len(relayers) >= 1
-	}
-	r := p.tor.Range()
-	certifies := func(centre grid.NodeID) bool {
-		count := 0
-		for _, s := range relayers {
-			if p.tor.Dist(centre, s) <= r {
-				count++
-			}
-		}
-		return count >= p.t+1
-	}
-	// All relayers lie within range r of the receiver, so candidate
-	// ball centres lie within 2r of every relayer; scanning centres
-	// around the first relayer suffices.
-	if certifies(relayers[0]) {
-		return true
-	}
-	found := false
-	p.tor.ForEachWithin(relayers[0], 2*r, func(centre grid.NodeID) {
-		if !found && certifies(centre) {
-			found = true
-		}
-	})
-	return found
-}
-
-// accept commits node id to v.
-func (p *Protocol) accept(id grid.NodeID, v radio.Value) {
-	p.decided[id] = true
-	p.value[id] = v
-	p.relayers[id] = nil // no longer needed
-	if p.OnAccept != nil {
-		p.OnAccept(id, v)
-	}
+	return p.acc.Deliver(to, from, v)
 }
 
 // PendingRelayers returns how many distinct relayers of v node id has
 // recorded (diagnostics).
 func (p *Protocol) PendingRelayers(id grid.NodeID, v radio.Value) int {
-	n := 0
-	for _, e := range p.relayers[id] {
-		if e.v == v {
-			n++
-		}
-	}
-	return n
+	return p.acc.PendingRelayers(id, v)
 }
 
 // NextRelay pops the next decided-but-not-yet-relayed node in id order,
@@ -218,7 +115,7 @@ func (p *Protocol) NextRelay() grid.NodeID {
 		p.harvested = make([]bool, p.tor.Size())
 	}
 	for i := 0; i < p.tor.Size(); i++ {
-		if p.decided[i] && !p.harvested[i] {
+		if p.acc.Decided[i] && !p.harvested[i] {
 			p.harvested[i] = true
 			return grid.NodeID(i)
 		}

@@ -27,6 +27,12 @@ type Spec struct {
 	// Budget returns the message budget of the given good node (used for
 	// enforcement and for average-cost reporting). It must be >= Sends.
 	Budget func(id grid.NodeID) int
+	// MaxSends, when positive, is the maximum of Sends over all nodes —
+	// a hint that lets the engines size their slot horizon without
+	// re-evaluating Sends over the whole topology every run. The
+	// constructors in this package and package koo set it; hand-built
+	// specs may leave it 0 (the engines fall back to one scan per run).
+	MaxSends int
 }
 
 // Validate performs basic sanity checks on the spec.
@@ -65,6 +71,7 @@ func NewProtocolB(p Params) (Spec, error) {
 		Threshold:     p.Threshold(),
 		Sends:         constSends(p.RelaySends()),
 		Budget:        constSends(p.HomogeneousBudget()),
+		MaxSends:      p.RelaySends(),
 	}, nil
 }
 
@@ -93,6 +100,7 @@ func NewBheter(p Params, t *grid.Torus, cross grid.Cross) (Spec, error) {
 		Threshold:     p.Threshold(),
 		Sends:         sends,
 		Budget:        sends,
+		MaxSends:      max(boosted, base),
 	}, nil
 }
 
@@ -115,6 +123,7 @@ func NewFullBudget(p Params, m int) (Spec, error) {
 		Threshold:     p.Threshold(),
 		Sends:         constSends(m),
 		Budget:        constSends(m),
+		MaxSends:      m,
 	}, nil
 }
 

@@ -26,5 +26,6 @@ func NewBaseline(p core.Params) (core.Spec, error) {
 		Threshold:     p.Threshold(),
 		Sends:         func(grid.NodeID) int { return repeats },
 		Budget:        func(grid.NodeID) int { return repeats },
+		MaxSends:      repeats,
 	}, nil
 }

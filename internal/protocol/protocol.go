@@ -1,0 +1,174 @@
+// Package protocol is the single home of the paper's node-level
+// acceptance logic: a pluggable protocol state-machine layer between the
+// execution engines (internal/sim, internal/sim/ref, internal/actor) and
+// the protocols they run.
+//
+// The paper defines one acceptance state machine — threshold acceptance,
+// optionally with window certification — parameterized by budgets:
+// protocol B, Bheter and the Koo baseline count copies against the
+// t·mf+1 threshold (package core builds their Specs), while certified
+// propagation (Bhandari–Vaidya, the layer protocol Breactive runs on)
+// counts t+1 distinct relayers inside one radio ball. Both modes live in
+// one implementation here (Acceptance); the engines drive it through the
+// Machine/Instance seam, so every engine×protocol×topology×adversary
+// combination runs on the same engine stack and can be cross-checked by
+// the differential oracles.
+//
+// # Seam contract
+//
+// A Machine is a reusable protocol description; Attach binds it to a
+// compiled topology plan and one run's environment, yielding an
+// Instance. The engine then:
+//
+//   - reads the Instance's flat per-node arrays (State) directly on its
+//     hot paths — transmission values, decided masks, receipt counters —
+//     so no interface call happens per node or per delivery;
+//   - hands each slot's final radio deliveries to Deliver as ONE batch;
+//     the instance applies them in order, firing the engine's Hooks at
+//     exactly the per-event points the pre-seam engines did (a Deliver
+//     event, then possibly the receiver's Decide event, then the next
+//     Deliver), and appends the transmissions to schedule to a
+//     caller-owned buffer — so the per-delivery work stays inside one
+//     concrete method and the interface cost is one call per slot;
+//   - calls Tick right after each non-empty batch — a per-slot
+//     epilogue whose slot stream is identical on every engine;
+//   - owns transmission mechanics: pending queues, TDMA emission,
+//     per-node message budgets (clamping scheduled sends against
+//     GoodBudget), and the radio medium. The instance owns acceptance
+//     state and nothing else.
+//
+// # Hot-path rules
+//
+// Instances must not allocate per delivery in steady state: per-node
+// state lives in flat arrays sized once at Attach (or reused across runs
+// via rebinding, see ThresholdInstance.Bind), scratch buffers are
+// instance fields, and the Send buffer is caller-owned and reused.
+// Engines must treat State slices as read-only and never retain them
+// past the instance's run.
+package protocol
+
+import (
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/plan"
+	"bftbcast/internal/radio"
+)
+
+// MaxTrackedValue bounds the distinct broadcast values a counts-mode
+// acceptance tracks per node. The protocols use ValueTrue and
+// adversaries typically a single wrong value; a handful of extra slots
+// accommodates multi-value attacks. internal/sim/ref's frozen copy must
+// stay equal for bit-identical results.
+const MaxTrackedValue = 7
+
+// Env is one run's environment, handed to Machine.Attach by the engine.
+type Env struct {
+	// Plan is the compiled topology plan (shared, read-only).
+	Plan *plan.Plan
+	// Params is the fault model (r, t, mf).
+	Params core.Params
+	// Source is the base station; instances pre-decide it on ValueTrue.
+	Source grid.NodeID
+	// Bad is the resolved adversary placement (read-only; nil means
+	// fault-free). Instances skip bad receivers: adversary nodes do not
+	// run the protocol.
+	Bad []bool
+	// Seed drives any machine-level randomness (the reactive machine's
+	// coding patterns). Machines without randomness ignore it.
+	Seed uint64
+}
+
+// bad reports whether id is adversarial (nil-safe).
+func (e *Env) bad(id grid.NodeID) bool { return e.Bad != nil && e.Bad[id] }
+
+// Send instructs the engine to schedule n more transmissions at node id,
+// carrying the node's current State.Value. The engine clamps n against
+// the node's remaining message budget.
+type Send struct {
+	ID grid.NodeID
+	N  int
+}
+
+// Hooks carries the engine's observer callbacks into a Deliver batch.
+// The instance fires them per event, preserving the exact interleaving
+// the engines produced before the seam (deliver → decide → deliver …).
+// Any hook may be nil.
+type Hooks struct {
+	// OnSend observes machine-internal adversarial transmissions (the
+	// reactive machine's payload attacks and NACK spam). Protocol sends
+	// by good nodes are emitted — and observed — by the engine itself.
+	OnSend func(slot int, from grid.NodeID, v radio.Value, adversarial bool)
+	// OnDeliver observes the deliveries the machine surfaces: every raw
+	// radio delivery for counts-mode protocols, every clean (or
+	// undetectedly forged) payload delivery for the reactive machine.
+	OnDeliver func(slot int, d radio.Delivery)
+	// OnAccept observes every acceptance, at the delivery that caused it.
+	OnAccept func(slot int, id grid.NodeID, v radio.Value)
+}
+
+// State is the flat per-node-array contract between an Instance and its
+// engine: the engine indexes these slices directly on its hot paths
+// (transmission values, supply tracking, adversary views, final report
+// assembly) instead of calling through the interface. All slices have
+// topology size, are owned by the instance, and are updated in place.
+type State struct {
+	// Decided marks nodes that accepted a value.
+	Decided []bool
+	// Value is the accepted value of decided nodes (the value the engine
+	// transmits for them).
+	Value []radio.Value
+	// Correct counts the copies of ValueTrue each node received; Wrong
+	// counts copies of other values. For the reactive machine these
+	// count payload deliveries (one per sender round), not raw radio
+	// copies.
+	Correct []int32
+	Wrong   []int32
+}
+
+// Machine is a reusable protocol description: the acceptance rule, the
+// send schedule, and any transport semantics layered on top (the
+// reactive machine's coding and NACK rounds). Machines are cheap
+// descriptors; all run state lives in the Instance.
+type Machine interface {
+	// Name identifies the protocol in reports and errors.
+	Name() string
+	// Attach validates the machine against the environment and returns a
+	// run-ready Instance.
+	Attach(env Env) (Instance, error)
+}
+
+// Instance is one run's protocol state, attached to a plan. Instances
+// are single-goroutine; engines drive them from their coordinator loop.
+type Instance interface {
+	// State returns the flat per-node arrays. The pointer and its slices
+	// are stable for the instance's lifetime.
+	State() *State
+	// Bootstrap appends the source's initial sends to buf: the protocol
+	// run starts with these scheduled.
+	Bootstrap(buf []Send) []Send
+	// Deliver consumes one slot's final radio deliveries in order,
+	// firing hooks per event, and appends the sends to schedule
+	// (acceptance relays, retransmissions) to buf.
+	Deliver(slot int, ds []radio.Delivery, hooks *Hooks, buf []Send) ([]Send, error)
+	// Tick runs immediately after each non-empty Deliver batch (same
+	// slot) and may append further sends to buf — a per-slot epilogue
+	// for machines that aggregate the batch before scheduling. The
+	// slot stream that ticks is identical on every engine (it is
+	// exactly the slots that delivered); slots without deliveries —
+	// including idle slots the fast engine skips wholesale — do not
+	// tick.
+	Tick(slot int, buf []Send) []Send
+	// GoodBudget returns the message budget the engine enforces for good
+	// node id; negative means unlimited. The engine always leaves the
+	// source unlimited.
+	GoodBudget(id grid.NodeID) int
+	// Threshold is the acceptance threshold exposed to adversary views.
+	Threshold() int
+	// Sizing returns the horizon inputs for the engine's default slot
+	// cap: the source's bootstrap send count and the maximum sends any
+	// single node may schedule.
+	Sizing() (sourceSends, maxSends int)
+	// Finish signals the end of the run (slots executed), letting the
+	// instance publish run statistics to its machine.
+	Finish(slots int)
+}

@@ -1,0 +1,153 @@
+package protocol_test
+
+// Invariant and cross-runtime coverage for the re-platformed reactive
+// machine. The frozen sequential runtime (internal/reactive) schedules
+// local broadcasts one at a time, the machine runs them concurrently in
+// TDMA slot order, so per-seed traces differ by construction — the
+// invariants both must satisfy are the protocol's guarantees: certified
+// propagation completes with no wrong decisions (absent forgeries), the
+// adversary spends at most its budget, and per-node message counts
+// respect the Theorem 4 bound.
+
+import (
+	"testing"
+
+	"bftbcast/internal/adversary"
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/protocol"
+	"bftbcast/internal/reactive"
+	"bftbcast/internal/sim"
+)
+
+func reactiveConfig(t *testing.T, policy protocol.AttackPolicy, seed uint64) (sim.Config, *protocol.Reactive) {
+	t.Helper()
+	tor, err := grid.New(15, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &protocol.Reactive{MMax: 64, PayloadBits: 16, Policy: policy}
+	return sim.Config{
+		Topo:      tor,
+		Params:    core.Params{R: 2, T: 1, MF: 3},
+		Machine:   m,
+		Placement: adversary.Random{T: 1, Density: 0.06, Seed: seed},
+		Seed:      seed,
+	}, m
+}
+
+// TestReactiveMachineInvariants runs every deterministic policy over a
+// batch of seeds and checks completion, budget accounting and the
+// Theorem 4 per-node message bound.
+func TestReactiveMachineInvariants(t *testing.T) {
+	for _, policy := range []protocol.AttackPolicy{
+		protocol.PolicyDisrupt, protocol.PolicyNackSpam, protocol.PolicyMixed,
+	} {
+		t.Run(policy.String(), func(t *testing.T) {
+			for seed := uint64(1); seed <= 6; seed++ {
+				cfg, m := reactiveConfig(t, policy, seed)
+				res, err := sim.Run(cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				rs := m.TakeStats()
+				if rs == nil {
+					t.Fatalf("seed %d: machine published no stats", seed)
+				}
+				// Mixed includes forge rounds, whose rare successes may
+				// plant wrong values; the pure denial policies must
+				// complete cleanly.
+				if policy != protocol.PolicyMixed && (!res.Completed || res.WrongDecisions != 0) {
+					t.Fatalf("seed %d: completed=%v wrong=%d", seed, res.Completed, res.WrongDecisions)
+				}
+				if rs.ForgedDeliveries == 0 && (!res.Completed || res.WrongDecisions != 0) {
+					t.Fatalf("seed %d: forgery-free run must complete cleanly (completed=%v wrong=%d)",
+						seed, res.Completed, res.WrongDecisions)
+				}
+				if budget := res.BadCount * cfg.Params.MF; rs.AttacksSpent > budget {
+					t.Fatalf("seed %d: adversary spent %d > budget %d", seed, rs.AttacksSpent, budget)
+				}
+				if bound := 2 * (cfg.Params.T*cfg.Params.MF + 1); rs.MaxNodeMessages > bound {
+					t.Fatalf("seed %d: max node messages %d exceed Theorem 4 bound %d",
+						seed, rs.MaxNodeMessages, bound)
+				}
+				if rs.MessageRounds != int(sum32(rs.DataSends)) {
+					t.Fatalf("seed %d: rounds %d != total data sends %d",
+						seed, rs.MessageRounds, sum32(rs.DataSends))
+				}
+				if res.GoodMessages != rs.MessageRounds {
+					t.Fatalf("seed %d: engine sends %d != data rounds %d",
+						seed, res.GoodMessages, rs.MessageRounds)
+				}
+			}
+		})
+	}
+}
+
+// TestReactiveMachineMatchesSequentialRuntime cross-validates the
+// machine against the frozen sequential runtime on the run-level
+// outcomes both schedulers must agree on. (Per-seed traces and exact
+// message counts legitimately differ — that delta is pinned by the
+// facade's golden reactive trace.)
+func TestReactiveMachineMatchesSequentialRuntime(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		cfg, m := reactiveConfig(t, protocol.PolicyDisrupt, seed)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rs := m.TakeStats()
+		old, err := reactive.Run(reactive.Config{
+			Topo: cfg.Topo, T: cfg.Params.T, MF: cfg.Params.MF, MMax: 64, PayloadBits: 16,
+			Placement: adversary.Random{T: 1, Density: 0.06, Seed: seed},
+			Policy:    reactive.PolicyDisrupt,
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: sequential runtime: %v", seed, err)
+		}
+		if res.Completed != old.Completed || res.TotalGood != old.TotalGood ||
+			res.DecidedGood != old.DecidedGood || res.WrongDecisions != old.WrongDecisions {
+			t.Fatalf("seed %d: schedulers disagree on outcomes:\nmachine:    completed=%v decided=%d/%d wrong=%d\nsequential: completed=%v decided=%d/%d wrong=%d",
+				seed, res.Completed, res.DecidedGood, res.TotalGood, res.WrongDecisions,
+				old.Completed, old.DecidedGood, old.TotalGood, old.WrongDecisions)
+		}
+		badCount := 0
+		for _, b := range rs.Bad {
+			if b {
+				badCount++
+			}
+		}
+		if badCount != old.BadCount {
+			t.Fatalf("seed %d: bad counts differ: %d vs %d", seed, badCount, old.BadCount)
+		}
+	}
+}
+
+// TestReactiveMachineForgePolicy smoke-tests the probabilistic forging
+// policy: runs stay well-formed whether or not a forgery lands, and a
+// forgery-free run completes cleanly.
+func TestReactiveMachineForgePolicy(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		cfg, m := reactiveConfig(t, protocol.PolicyForge, seed)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rs := m.TakeStats()
+		if rs.ForgedDeliveries == 0 && (!res.Completed || res.WrongDecisions != 0) {
+			t.Fatalf("seed %d: no forgery yet completed=%v wrong=%d", seed, res.Completed, res.WrongDecisions)
+		}
+		if res.DecidedGood > res.TotalGood || res.WrongDecisions > res.DecidedGood {
+			t.Fatalf("seed %d: inconsistent decision accounting: %+v", seed, res)
+		}
+	}
+}
+
+func sum32(xs []int32) int64 {
+	var s int64
+	for _, x := range xs {
+		s += int64(x)
+	}
+	return s
+}

@@ -13,6 +13,16 @@
 // On top of the primitive runs the certified-propagation protocol of
 // Bhandari–Vaidya (package bv), yielding protocol Breactive, which
 // tolerates t < ½r(2r+1) with probability at least 1 − 1/n (Theorem 4).
+//
+// This package is the FROZEN sequential runtime: it executes local
+// broadcasts one at a time in NextRelay order, as the seed did, and
+// backs the deprecated RunReactive facade wrapper plus the E8/E10
+// experiments' ablation knobs (QuietWindow). The production path is the
+// reactive protocol machine in internal/protocol, which runs the same
+// NACK/AUED semantics concurrently on the shared engine stack (TDMA
+// slot time, Sweep, cancellation, observers, differential oracles); its
+// per-seed traces differ from this runtime by scheduling only. Do not
+// extend this package — grow the machine instead.
 package reactive
 
 import (
@@ -26,47 +36,24 @@ import (
 	"bftbcast/internal/core"
 	"bftbcast/internal/grid"
 	"bftbcast/internal/plan"
+	"bftbcast/internal/protocol"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/stats"
 	"bftbcast/internal/topo"
 )
 
 // AttackPolicy selects how bad nodes spend their (unknown to the
-// protocol) budget.
-type AttackPolicy int
+// protocol) budget. It is an alias of the protocol machine's type, so
+// the same values drive both runtimes.
+type AttackPolicy = protocol.AttackPolicy
 
-// Attack policies.
+// Attack policies (see protocol.AttackPolicy).
 const (
-	// PolicyDisrupt flips a silent sub-slot in every data round within
-	// range until the budget runs out, forcing detection and
-	// retransmission — the worst case for message cost.
-	PolicyDisrupt AttackPolicy = iota + 1
-	// PolicyForge attempts a random-guess cancellation of a 1-bit each
-	// round: success (probability ≈ 2^-L) plants an undetected wrong
-	// value, failure is detected like a disruption.
-	PolicyForge
-	// PolicyNackSpam spends the budget broadcasting fake NACKs, forcing
-	// pointless retransmissions without touching payloads.
-	PolicyNackSpam
-	// PolicyMixed alternates disruption, forging and NACK spam.
-	PolicyMixed
+	PolicyDisrupt  = protocol.PolicyDisrupt
+	PolicyForge    = protocol.PolicyForge
+	PolicyNackSpam = protocol.PolicyNackSpam
+	PolicyMixed    = protocol.PolicyMixed
 )
-
-// String implements fmt.Stringer.
-func (p AttackPolicy) String() string {
-	switch p {
-	case PolicyDisrupt:
-		return "disrupt"
-	case PolicyForge:
-		return "forge"
-	case PolicyNackSpam:
-		return "nackspam"
-	case PolicyMixed:
-		return "mixed"
-	default:
-		return fmt.Sprintf("policy(%d)", int(p))
-	}
-}
 
 // Config describes one Breactive run.
 type Config struct {

@@ -1,17 +1,21 @@
 // Package sim is the deterministic discrete-event engine that executes a
-// threshold broadcast protocol (a core.Spec) on a topology (the paper's
-// torus, a bounded grid, or a random geometric graph — see package topo)
-// against an adversary, at time-slot granularity under the
-// collision-free TDMA schedule.
+// broadcast protocol on a topology (the paper's torus, a bounded grid,
+// or a random geometric graph — see package topo) against an adversary,
+// at time-slot granularity under the collision-free TDMA schedule.
 //
-// Each slot the engine: (1) emits the transmissions of the slot's color
-// class (every decided node with pending relays, plus the base station);
-// (2) resolves them into tentative deliveries; (3) asks the adversary
-// strategy for jamming transmissions; (4) re-resolves and applies the
-// final deliveries to the per-node value counters; (5) turns threshold
-// crossings into acceptances, which schedule new relays. The run ends when
-// no transmissions remain pending: either every good node has decided
-// Vtrue (Completed) or the broadcast has stalled.
+// The protocol itself lives behind the internal/protocol seam: each run
+// drives a protocol.Instance — the counts-threshold machine built from a
+// core.Spec (protocols B, Bheter, Koo, full-budget; the default), or any
+// custom Machine such as the Section 5 reactive protocol. Each slot the
+// engine: (1) emits the transmissions of the slot's color class (every
+// node with pending sends, transmitting its protocol value); (2)
+// resolves them into tentative deliveries; (3) asks the adversary
+// strategy for jamming transmissions; (4) re-resolves and hands the
+// final deliveries to the protocol instance as one batch; (5) schedules
+// the sends the instance returns (acceptance relays, retransmissions),
+// clamped against per-node budgets. The run ends when no transmissions
+// remain pending: either every good node has decided Vtrue (Completed)
+// or the broadcast has stalled.
 //
 // # Fast path
 //
@@ -19,7 +23,9 @@
 // make each slot cost O(active transmitters) instead of O(nodes in the
 // color class), idle slots are skipped in O(1) per period when the
 // adversary is delivery-driven, and all engine state lives in a reusable
-// Runner so sweeps pay no per-run allocation beyond the Result. The
+// Runner so sweeps pay no per-run allocation beyond the Result — the
+// Runner keeps one protocol.ThresholdInstance across runs and rebinds it
+// per run, so the default protocol path allocates nothing either. The
 // original dense engine is preserved verbatim in internal/sim/ref as the
 // reference implementation; the differential-testing oracle
 // (internal/sim/simtest, wired up in oracle_test.go) asserts bit-identical
@@ -36,30 +42,41 @@ import (
 	"bftbcast/internal/core"
 	"bftbcast/internal/grid"
 	"bftbcast/internal/plan"
+	"bftbcast/internal/protocol"
 	"bftbcast/internal/radio"
 	"bftbcast/internal/sched"
 	"bftbcast/internal/topo"
 )
 
-// maxTrackedValue bounds the distinct broadcast values the engine tracks
-// per node. The protocols use ValueTrue and adversaries typically a single
-// wrong value; a handful of extra slots accommodates multi-value attacks.
-const maxTrackedValue = 7
+// maxTrackedValue bounds the distinct broadcast values the threshold
+// protocols track per node; the engine reuses it to validate jam values.
+// internal/sim/ref's frozen copy must stay equal for bit-identical
+// results.
+const maxTrackedValue = protocol.MaxTrackedValue
 
 // Config describes one simulation run.
 type Config struct {
 	// Topo is the network topology (grid.Torus, topo.Bounded, topo.RGG).
 	Topo   topo.Topology
 	Params core.Params
-	Spec   core.Spec
+	// Spec is the threshold protocol under test, executed through the
+	// built-in protocol.ThresholdInstance. Ignored when Machine is set.
+	Spec core.Spec
+	// Machine, when non-nil, selects a custom protocol state machine
+	// (e.g. the Section 5 reactive protocol) instead of the Spec-derived
+	// threshold machine. The machine is attached per run.
+	Machine protocol.Machine
 	// Source is the base station (defaults to node (0,0)).
 	Source grid.NodeID
 	// Placement chooses the bad set; nil means no bad nodes.
 	Placement adversary.Placement
 	// Strategy drives the bad nodes; nil means they stay silent.
 	Strategy adversary.Strategy
+	// Seed drives machine-level randomness (the reactive machine's
+	// coding patterns); the threshold machine ignores it.
+	Seed uint64
 	// MaxSlots caps the run; 0 picks a generous default derived from the
-	// spec and torus size.
+	// protocol sizing and torus size.
 	MaxSlots int
 	// OnAccept, when non-nil, observes every acceptance.
 	OnAccept func(slot int, id grid.NodeID, v radio.Value)
@@ -70,11 +87,14 @@ type Config struct {
 	OnSlotStart func(slot int)
 	// OnSend, when non-nil, observes every transmission the engine
 	// admits: protocol sends by good nodes and (with adversarial=true)
-	// validated adversarial jams.
+	// validated adversarial jams, plus machine-internal adversarial
+	// sends (the reactive machine's payload attacks and NACK spam).
 	OnSend func(slot int, from grid.NodeID, v radio.Value, adversarial bool)
-	// OnDeliver, when non-nil, observes every final delivery of the
-	// radio medium, including deliveries to bad nodes (which the
-	// protocol layer then ignores).
+	// OnDeliver, when non-nil, observes every delivery the protocol
+	// machine surfaces: every final delivery of the radio medium for the
+	// threshold protocols (including deliveries to bad nodes, which the
+	// protocol layer then ignores), every payload delivery for the
+	// reactive machine.
 	OnDeliver func(slot int, d radio.Delivery)
 }
 
@@ -155,14 +175,19 @@ type Runner struct {
 	medium   *radio.Medium
 	colors   []int32 // TDMA color per node (shared, read-only)
 
+	// Protocol seam. builtin is the Runner's reusable counts-threshold
+	// instance, rebound per run when Config.Machine is nil; custom
+	// machines are attached per run. inst/st are the current run's
+	// instance and its flat per-node state arrays (see protocol.State) —
+	// the engine indexes st directly on the hot paths.
+	builtin *protocol.ThresholdInstance
+	inst    protocol.Instance
+	st      *protocol.State
+	hooks   protocol.Hooks
+
 	// Per-run state, reset by Run.
 	cfg        Config
 	bad        []bool
-	decided    []bool
-	decidedVal []radio.Value
-	counts     []int32 // [node*(maxTrackedValue+1) + value]
-	correct    []int32
-	wrong      []int32
 	sent       []int32
 	pending    []int32
 	supplies   []bool // node currently contributes to neighbors' supply
@@ -181,12 +206,10 @@ type Runner struct {
 	trackSupply bool // supply bookkeeping is only needed by strategies
 	curSlot     int
 
-	// Scratch reused across slots; the delivery callback is allocated
-	// once per Runner so Resolve never causes a per-slot closure
-	// allocation (the tentative pass uses ResolveAppend, no callback).
+	// Scratch reused across slots.
 	txs       []radio.Tx
 	tentative []radio.Delivery
-	deliverCb func(radio.Delivery)
+	sendBuf   []protocol.Send
 	jamSeen   []int32 // epoch stamps replacing validateJams' map
 	jamEpoch  int32
 
@@ -195,9 +218,7 @@ type Runner struct {
 
 // NewRunner returns an empty Runner; the first Run sizes it.
 func NewRunner() *Runner {
-	r := &Runner{}
-	r.deliverCb = func(d radio.Delivery) { r.deliver(r.curSlot, d) }
-	return r
+	return &Runner{builtin: protocol.NewThresholdInstance()}
 }
 
 // retarget (re)builds the per-topology state when cfg.Topo differs from
@@ -217,11 +238,6 @@ func (r *Runner) retarget(t topo.Topology) error {
 	n := t.Size()
 	r.colors = p.Colors()
 
-	r.decided = make([]bool, n)
-	r.decidedVal = make([]radio.Value, n)
-	r.counts = make([]int32, n*(maxTrackedValue+1))
-	r.correct = make([]int32, n)
-	r.wrong = make([]int32, n)
 	r.sent = make([]int32, n)
 	r.pending = make([]int32, n)
 	r.supplies = make([]bool, n)
@@ -237,13 +253,9 @@ func (r *Runner) retarget(t topo.Topology) error {
 	return nil
 }
 
-// reset clears the per-run state for a fresh run on the current topology.
+// reset clears the per-run state for a fresh run on the current topology
+// (the protocol instance's state is reset by its own per-run binding).
 func (r *Runner) reset() {
-	clear(r.decided)
-	clear(r.decidedVal)
-	clear(r.counts)
-	clear(r.correct)
-	clear(r.wrong)
 	clear(r.sent)
 	clear(r.pending)
 	clear(r.supplies)
@@ -276,8 +288,10 @@ func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.Spec.Validate(); err != nil {
-		return nil, err
+	if cfg.Machine == nil {
+		if err := cfg.Spec.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Params.R != cfg.Topo.Range() {
 		return nil, fmt.Errorf("sim: params r=%d but topology r=%d", cfg.Params.R, cfg.Topo.Range())
@@ -306,6 +320,34 @@ func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// Bind the protocol: the reusable built-in threshold instance for
+	// Spec runs, a freshly attached machine otherwise.
+	env := protocol.Env{
+		Plan:   r.plan,
+		Params: cfg.Params,
+		Source: cfg.Source,
+		Bad:    bad,
+		Seed:   cfg.Seed,
+	}
+	if cfg.Machine != nil {
+		inst, err := cfg.Machine.Attach(env)
+		if err != nil {
+			return nil, err
+		}
+		r.inst = inst
+	} else {
+		if err := r.builtin.Bind(env, cfg.Spec); err != nil {
+			return nil, err
+		}
+		r.inst = r.builtin
+	}
+	r.st = r.inst.State()
+	r.hooks = protocol.Hooks{
+		OnSend:    cfg.OnSend,
+		OnDeliver: cfg.OnDeliver,
+		OnAccept:  cfg.OnAccept,
+	}
+
 	r.cfg = cfg
 	r.bad = bad
 	r.trackSupply = cfg.Strategy != nil
@@ -320,19 +362,23 @@ func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			r.goodBudget[i] = radio.Unlimited()
 			continue
 		}
-		r.goodBudget[i] = radio.NewBudget(cfg.Spec.Budget(id))
+		r.goodBudget[i] = radio.NewBudget(r.inst.GoodBudget(id))
 	}
 
-	// Base station: decided on Vtrue, repeats it SourceRepeats times.
-	r.decided[cfg.Source] = true
-	r.decidedVal[cfg.Source] = radio.ValueTrue
-	r.addPending(cfg.Source, cfg.Spec.SourceRepeats)
+	// Bootstrap: the instance pre-decides the source and schedules its
+	// opening sends.
+	r.sendBuf = r.inst.Bootstrap(r.sendBuf[:0])
+	r.applySends(r.sendBuf)
 
 	res, err := r.run(ctx)
 	// Drop the per-run references so a pooled Runner does not pin the
-	// caller's placement, strategy or callbacks between runs.
+	// caller's placement, strategy, callbacks or machine between runs.
 	r.cfg = Config{}
 	r.bad = nil
+	r.builtin.Unbind()
+	r.inst = nil
+	r.st = nil
+	r.hooks = protocol.Hooks{}
 	return res, err
 }
 
@@ -343,10 +389,7 @@ func (r *Runner) neighbors(id grid.NodeID) []grid.NodeID {
 }
 
 // addPending schedules n more transmissions at id and, when id supplies
-// Vtrue, credits the supply estimate of its neighbors. A node gains
-// pending work at most once per run (at its acceptance, or at the source
-// bootstrap), so this is also the only point where id enters its color
-// queue.
+// Vtrue, credits the supply estimate of its neighbors.
 func (r *Runner) addPending(id grid.NodeID, n int) {
 	if n <= 0 {
 		return
@@ -358,7 +401,7 @@ func (r *Runner) addPending(id grid.NodeID, n int) {
 	r.pending[id] += int32(n)
 	r.colorPending[c] += int64(n)
 	r.pendingTotal += int64(n)
-	if r.trackSupply && r.decidedVal[id] == radio.ValueTrue && !r.bad[id] {
+	if r.trackSupply && r.st.Value[id] == radio.ValueTrue && !r.bad[id] {
 		r.supplies[id] = true
 		for _, nb := range r.neighbors(id) {
 			r.supply[nb] += int32(n)
@@ -366,16 +409,25 @@ func (r *Runner) addPending(id grid.NodeID, n int) {
 	}
 }
 
-func (r *Runner) defaultMaxSlots() int {
-	maxSends := 0
-	for i := 0; i < r.topo.Size(); i++ {
-		if s := r.cfg.Spec.Sends(grid.NodeID(i)); s > maxSends {
-			maxSends = s
+// applySends schedules the instance's returned sends, clamping each
+// against the node's remaining message budget (pre-seam, the clamp lived
+// in the engine's accept path; budgets only change in the emission loop,
+// so clamping after the batch is equivalent).
+func (r *Runner) applySends(sends []protocol.Send) {
+	for _, s := range sends {
+		n := s.N
+		if left := r.goodBudget[s.ID].Left(); left >= 0 && n > left {
+			n = left
 		}
+		r.addPending(s.ID, n)
 	}
+}
+
+func (r *Runner) defaultMaxSlots() int {
+	sourceSends, maxSends := r.inst.Sizing()
 	period := r.schedule.Period()
 	hops := r.topo.DiameterHint()
-	return period * (r.cfg.Spec.SourceRepeats + hops*(maxSends+1) + 2*period)
+	return period * (sourceSends + hops*(maxSends+1) + 2*period)
 }
 
 // deliveryDriven reports whether the configured strategy never transmits
@@ -451,9 +503,9 @@ func (r *Runner) run(ctx context.Context) (*Result, error) {
 				r.sent[id]++
 				r.res.GoodMessages++
 				if r.cfg.OnSend != nil {
-					r.cfg.OnSend(slot, id, r.decidedVal[id], false)
+					r.cfg.OnSend(slot, id, r.st.Value[id], false)
 				}
-				txs = append(txs, radio.Tx{From: id, Value: r.decidedVal[id]})
+				txs = append(txs, radio.Tx{From: id, Value: r.st.Value[id]})
 				if r.pending[id] > 0 {
 					q[w] = id
 					w++
@@ -476,20 +528,35 @@ func (r *Runner) run(ctx context.Context) (*Result, error) {
 			jams = r.validateJams(r.cfg.Strategy.Jams(view, slot, r.tentative))
 		}
 
-		if len(jams) == 0 {
-			for _, d := range r.tentative {
-				r.deliver(slot, d)
+		if len(jams) > 0 {
+			// Re-resolve with the jams included; ResolveAppend reports
+			// the same deliveries in the same ascending-receiver order a
+			// callback resolve would.
+			r.txs = append(r.txs, jams...)
+			r.tentative = r.tentative[:0]
+			var err error
+			if r.tentative, err = r.medium.ResolveAppend(r.txs, r.tentative); err != nil {
+				return nil, err
 			}
-			slot++
-			continue
 		}
-		r.txs = append(r.txs, jams...)
-		if err := r.medium.Resolve(r.txs, r.deliverCb); err != nil {
-			return nil, err
+
+		// Hand the slot's final deliveries to the protocol as one batch
+		// and schedule the sends it returns. Tick is coupled to the
+		// non-empty batch so every engine ticks the same slot stream.
+		if len(r.tentative) > 0 {
+			r.sendBuf = r.sendBuf[:0]
+			var err error
+			r.sendBuf, err = r.inst.Deliver(slot, r.tentative, &r.hooks, r.sendBuf)
+			if err != nil {
+				return nil, err
+			}
+			r.sendBuf = r.inst.Tick(slot, r.sendBuf)
+			r.applySends(r.sendBuf)
 		}
 		slot++
 	}
 
+	r.inst.Finish(slot)
 	return r.finish(slot, maxSlots), nil
 }
 
@@ -560,50 +627,6 @@ func (r *Runner) validateJams(jams []radio.Tx) []radio.Tx {
 	return valid
 }
 
-// deliver applies one final delivery to the receiver's counters and
-// processes a threshold crossing.
-func (r *Runner) deliver(slot int, d radio.Delivery) {
-	if r.cfg.OnDeliver != nil {
-		r.cfg.OnDeliver(slot, d)
-	}
-	u := d.To
-	if r.bad[u] {
-		return // adversary nodes do not run the protocol
-	}
-	if d.Value == radio.ValueTrue {
-		r.correct[u]++
-	} else {
-		r.wrong[u]++
-	}
-	v := d.Value
-	if v < 0 || v > maxTrackedValue {
-		v = maxTrackedValue // clamp exotic values into the last bucket
-	}
-	idx := int(u)*(maxTrackedValue+1) + int(v)
-	r.counts[idx]++
-	if r.decided[u] || r.counts[idx] != int32(r.cfg.Spec.Threshold) {
-		return
-	}
-	r.accept(slot, u, d.Value)
-}
-
-// accept commits node u to value v and schedules its relays.
-func (r *Runner) accept(slot int, u grid.NodeID, v radio.Value) {
-	r.decided[u] = true
-	r.decidedVal[u] = v
-	if v != radio.ValueTrue {
-		r.res.WrongDecisions++
-	}
-	sends := r.cfg.Spec.Sends(u)
-	if left := r.goodBudget[u].Left(); left >= 0 && sends > left {
-		sends = left
-	}
-	r.addPending(u, sends)
-	if r.cfg.OnAccept != nil {
-		r.cfg.OnAccept(slot, u, v)
-	}
-}
-
 func (r *Runner) finish(slot, maxSlots int) *Result {
 	res := &r.res
 	res.Slots = slot
@@ -618,10 +641,11 @@ func (r *Runner) finish(slot, maxSlots int) *Result {
 			continue
 		}
 		res.TotalGood++
-		if r.decided[i] {
+		if r.st.Decided[i] {
 			res.DecidedGood++
-			if r.decidedVal[i] != radio.ValueTrue {
+			if r.st.Value[i] != radio.ValueTrue {
 				allTrue = false
+				res.WrongDecisions++
 			}
 		} else {
 			allTrue = false
@@ -642,10 +666,10 @@ func (r *Runner) finish(slot, maxSlots int) *Result {
 	// Copy the per-node state out of the engine: the Runner's own slices
 	// are reset and reused by the next run, and handing them out would
 	// retroactively corrupt this Result (see TestResultNotAliased).
-	res.Decided = append([]bool(nil), r.decided...)
-	res.DecidedValue = append([]radio.Value(nil), r.decidedVal...)
-	res.Correct = append([]int32(nil), r.correct...)
-	res.Wrong = append([]int32(nil), r.wrong...)
+	res.Decided = append([]bool(nil), r.st.Decided...)
+	res.DecidedValue = append([]radio.Value(nil), r.st.Value...)
+	res.Correct = append([]int32(nil), r.st.Correct...)
+	res.Wrong = append([]int32(nil), r.st.Wrong...)
 	res.Sent = append([]int32(nil), r.sent...)
 	out := *res
 	return &out
@@ -671,10 +695,10 @@ func (v runnerView) Neighbors(id grid.NodeID) []grid.NodeID { return v.r.neighbo
 func (v runnerView) BadMask() []bool { return v.r.bad }
 
 // DecidedMask implements adversary.StateSource.
-func (v runnerView) DecidedMask() []bool { return v.r.decided }
+func (v runnerView) DecidedMask() []bool { return v.r.st.Decided }
 
 // CorrectCounts implements adversary.StateSource.
-func (v runnerView) CorrectCounts() []int32 { return v.r.correct }
+func (v runnerView) CorrectCounts() []int32 { return v.r.st.Correct }
 
 // SupplyCounts implements adversary.StateSource.
 func (v runnerView) SupplyCounts() []int32 { return v.r.supply }
@@ -683,13 +707,13 @@ func (v runnerView) SupplyCounts() []int32 { return v.r.supply }
 func (v runnerView) IsBad(id grid.NodeID) bool { return v.r.bad[id] }
 
 // IsDecided implements adversary.View.
-func (v runnerView) IsDecided(id grid.NodeID) bool { return v.r.decided[id] }
+func (v runnerView) IsDecided(id grid.NodeID) bool { return v.r.st.Decided[id] }
 
 // CorrectCount implements adversary.View.
-func (v runnerView) CorrectCount(id grid.NodeID) int { return int(v.r.correct[id]) }
+func (v runnerView) CorrectCount(id grid.NodeID) int { return int(v.r.st.Correct[id]) }
 
 // Threshold implements adversary.View.
-func (v runnerView) Threshold() int { return v.r.cfg.Spec.Threshold }
+func (v runnerView) Threshold() int { return v.r.inst.Threshold() }
 
 // Supply implements adversary.View.
 func (v runnerView) Supply(id grid.NodeID) int { return int(v.r.supply[id]) }

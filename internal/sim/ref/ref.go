@@ -71,9 +71,16 @@ func Run(cfg sim.Config) (*sim.Result, error) {
 // RunContext is Run with cooperative cancellation, checked once per
 // slot, mirroring sim.RunContext. A nil ctx behaves like
 // context.Background().
+//
+// A Config with a custom protocol Machine runs through the machine-driven
+// dense loop (machine.go); Spec runs keep the frozen inline path below,
+// which stays the fixed point the fast engine is verified against.
 func RunContext(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cfg.Machine != nil {
+		return runMachine(ctx, cfg)
 	}
 	e, err := newEngine(cfg)
 	if err != nil {

@@ -1,0 +1,255 @@
+package bftbcast_test
+
+// The engine×protocol differential matrix: every protocol (B, Bheter,
+// Koo, reactive) on every topology kind (torus, bounded grid, RGG) runs
+// through the fast and dense-reference engines — and, fault-free,
+// through the actor runtime — asserting equality on the unified Report.
+// This is the facade-level guarantee the protocol seam exists for: one
+// Scenario, any backend, the same answer.
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bftbcast"
+)
+
+// matrixTopology builds the topology for one matrix cell. The fault
+// parameter t adapts to the topology's range (an RGG has hop range 1).
+func matrixTopology(t *testing.T, kind string) (bftbcast.Topology, bftbcast.Params) {
+	t.Helper()
+	switch kind {
+	case "torus":
+		tor, err := bftbcast.NewTorus(15, 15, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tor, bftbcast.Params{R: 2, T: 1, MF: 2}
+	case "grid":
+		g, err := bftbcast.NewBoundedGrid(15, 15, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, bftbcast.Params{R: 2, T: 1, MF: 2}
+	case "rgg":
+		g, err := bftbcast.NewRGG(250, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, bftbcast.Params{R: 1, T: 1, MF: 2}
+	default:
+		t.Fatalf("unknown topology kind %q", kind)
+		return nil, bftbcast.Params{}
+	}
+}
+
+// matrixScenario assembles one cell. adversarial attaches the
+// protocol-appropriate adversary (random placement + corruptor for the
+// threshold protocols, random placement + policy for reactive).
+func matrixScenario(t *testing.T, kind, proto string, seed uint64, adversarial bool) *bftbcast.Scenario {
+	t.Helper()
+	tp, params := matrixTopology(t, kind)
+	opts := []bftbcast.ScenarioOption{
+		bftbcast.WithTopology(tp),
+		bftbcast.WithParams(params),
+		bftbcast.WithSeed(seed),
+	}
+	if proto == "reactive" {
+		if kind == "rgg" && !adversarial {
+			// Certified propagation needs t+1 distinct in-window
+			// relayers, which an RGG's degree-1 fringe nodes can never
+			// assemble for t >= 1: the adversarial cells assert that the
+			// engines agree on that stall, while the fault-free
+			// completion cell runs the t=0 form (accept any relayer).
+			params.T = 0
+			opts[1] = bftbcast.WithParams(params)
+		}
+		opts = append(opts, bftbcast.WithProtocol(bftbcast.ProtocolReactive))
+		if adversarial {
+			opts = append(opts, bftbcast.WithPlacement(
+				bftbcast.RandomPlacement{T: params.T, Density: 0.05, Seed: seed}))
+		}
+	} else {
+		var (
+			spec bftbcast.Spec
+			err  error
+		)
+		switch proto {
+		case "b":
+			spec, err = bftbcast.NewProtocolB(params)
+		case "bheter":
+			tor, ok := tp.(*bftbcast.Torus)
+			if !ok {
+				t.Fatalf("bheter needs a torus")
+			}
+			spec, err = bftbcast.NewBheter(params, tor, bftbcast.Cross{Center: tor.ID(0, 0), HalfWidth: params.R})
+		case "koo":
+			spec, err = bftbcast.NewKooBaseline(params)
+		default:
+			t.Fatalf("unknown protocol %q", proto)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, bftbcast.WithSpec(spec))
+		if adversarial {
+			opts = append(opts, bftbcast.WithAdversary(
+				bftbcast.RandomPlacement{T: params.T, Density: 0.05, Seed: seed},
+				bftbcast.NewCorruptor(),
+			))
+		}
+	}
+	sc, err := bftbcast.NewScenario(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// matrixProtocols lists the protocols runnable on the given topology
+// kind (Bheter is a torus construction).
+func matrixProtocols(kind string) []string {
+	if kind == "torus" {
+		return []string{"b", "bheter", "koo", "reactive"}
+	}
+	return []string{"b", "koo", "reactive"}
+}
+
+// TestMatrixFastVsRef asserts full-Report equality (modulo the engine
+// name) between the sparse fast engine and the dense reference engine
+// over the adversarial protocol×topology×seed matrix.
+func TestMatrixFastVsRef(t *testing.T) {
+	ctx := context.Background()
+	for _, kind := range []string{"torus", "grid", "rgg"} {
+		for _, proto := range matrixProtocols(kind) {
+			t.Run(kind+"/"+proto, func(t *testing.T) {
+				for seed := uint64(1); seed <= 3; seed++ {
+					fastRep, err := bftbcast.EngineFast.Run(ctx, matrixScenario(t, kind, proto, seed, true))
+					if err != nil {
+						t.Fatalf("seed %d fast: %v", seed, err)
+					}
+					refRep, err := bftbcast.EngineRef.Run(ctx, matrixScenario(t, kind, proto, seed, true))
+					if err != nil {
+						t.Fatalf("seed %d ref: %v", seed, err)
+					}
+					refRep.Engine = fastRep.Engine
+					if !reflect.DeepEqual(fastRep, refRep) {
+						t.Fatalf("seed %d: fast and ref reports diverge:\nfast: %+v\nref:  %+v",
+							seed, fastRep, refRep)
+					}
+					if proto == "reactive" && fastRep.Reactive == nil {
+						t.Fatalf("seed %d: reactive run missing its Report extension", seed)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMatrixFaultFreeActor asserts that the fault-free actor runtime
+// agrees with the fast engine on every Report field the concurrent
+// runtime produces, for both protocol families on every topology.
+func TestMatrixFaultFreeActor(t *testing.T) {
+	ctx := context.Background()
+	for _, kind := range []string{"torus", "grid", "rgg"} {
+		for _, proto := range matrixProtocols(kind) {
+			t.Run(kind+"/"+proto, func(t *testing.T) {
+				fastRep, err := bftbcast.EngineFast.Run(ctx, matrixScenario(t, kind, proto, 7, false))
+				if err != nil {
+					t.Fatalf("fast: %v", err)
+				}
+				actRep, err := bftbcast.EngineActor.Run(ctx, matrixScenario(t, kind, proto, 7, false))
+				if err != nil {
+					t.Fatalf("actor: %v", err)
+				}
+				if !fastRep.Completed || !actRep.Completed {
+					t.Fatalf("fault-free cell did not complete: fast=%v actor=%v",
+						fastRep.Completed, actRep.Completed)
+				}
+				if fastRep.Slots != actRep.Slots ||
+					fastRep.TotalGood != actRep.TotalGood ||
+					fastRep.DecidedGood != actRep.DecidedGood ||
+					fastRep.WrongDecisions != actRep.WrongDecisions ||
+					fastRep.GoodMessages != actRep.GoodMessages ||
+					fastRep.AvgGoodSends != actRep.AvgGoodSends ||
+					fastRep.MaxGoodSends != actRep.MaxGoodSends ||
+					!reflect.DeepEqual(fastRep.Decided, actRep.Decided) ||
+					!reflect.DeepEqual(fastRep.DecidedValue, actRep.DecidedValue) ||
+					!reflect.DeepEqual(fastRep.Sent, actRep.Sent) {
+					t.Fatalf("fast and actor reports diverge:\nfast:  %+v\nactor: %+v", fastRep, actRep)
+				}
+				if proto == "reactive" && !reflect.DeepEqual(fastRep.Reactive, actRep.Reactive) {
+					t.Fatalf("reactive extensions diverge:\nfast:  %+v\nactor: %+v",
+						fastRep.Reactive, actRep.Reactive)
+				}
+			})
+		}
+	}
+}
+
+// TestReactiveSequentialKnobsRejected pins that the sequential-only
+// ReactiveSpec knobs fail loudly on the engine stack instead of being
+// silently dropped (they changed run semantics on the pre-seam
+// EngineReactive).
+func TestReactiveSequentialKnobsRejected(t *testing.T) {
+	ctx := context.Background()
+	for _, spec := range []bftbcast.ReactiveSpec{
+		{QuietWindow: 3},
+		{MaxRoundsPerBroadcast: 9},
+	} {
+		sc, err := matrixScenario(t, "torus", "reactive", 1, false).With(bftbcast.WithReactive(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, engine := range []bftbcast.Engine{bftbcast.EngineFast, bftbcast.EngineRef, bftbcast.EngineActor, bftbcast.EngineReactive} {
+			if _, err := engine.Run(ctx, sc); err == nil ||
+				!strings.Contains(err.Error(), "RunReactive") {
+				t.Fatalf("%s with %+v: err = %v, want sequential-knob rejection", engine.Name(), spec, err)
+			}
+		}
+	}
+}
+
+// TestReactiveSweep runs a reactive policy×seed sweep through the public
+// Sweep harness on 1 and 3 workers: reports must be identical for any
+// worker count (each point derives its own machine and seeds), proving
+// the re-platformed protocol composes with worker-pinned engines.
+func TestReactiveSweep(t *testing.T) {
+	base := matrixScenario(t, "torus", "reactive", 1, true)
+	var scenarios []*bftbcast.Scenario
+	for _, policy := range []bftbcast.AttackPolicy{
+		bftbcast.PolicyDisrupt, bftbcast.PolicyNackSpam, bftbcast.PolicyMixed,
+	} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			sc, err := base.With(
+				bftbcast.WithSeed(seed),
+				bftbcast.WithReactive(bftbcast.ReactiveSpec{Policy: policy}),
+				bftbcast.WithPlacement(bftbcast.RandomPlacement{T: 1, Density: 0.05, Seed: seed}),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
+	ctx := context.Background()
+	run := func(workers int) []bftbcast.SweepPoint {
+		pts, err := (&bftbcast.Sweep{Workers: workers, Scenarios: scenarios}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	seq, par := run(1), run(3)
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i].Report, par[i].Report) {
+			t.Fatalf("point %d differs between 1 and 3 workers:\nseq: %+v\npar: %+v",
+				i, seq[i].Report, par[i].Report)
+		}
+		if !seq[i].Report.Completed && seq[i].Report.Reactive.ForgedDeliveries == 0 {
+			t.Fatalf("point %d: forgery-free reactive sweep point failed: %+v", i, seq[i].Report)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package bftbcast
 
+import "bftbcast/internal/protocol"
+
 // Report is the unified outcome of an Engine run. The core fields are
 // populated by every backend with the same meaning, so cross-engine
 // comparisons (and the fast-vs-ref differential oracle) work on one
@@ -18,30 +20,32 @@ type Report struct {
 	// TimedOut is true when the slot cap elapsed with work pending.
 	TimedOut bool
 
-	// Slots is the elapsed engine time: TDMA slots for the simulation
-	// and actor engines, data message rounds for the reactive engine.
+	// Slots is the elapsed engine time in TDMA slots. Reactive runs on
+	// the shared engines use slot time too; the extension's
+	// Reactive.MessageRounds counts their data rounds.
 	Slots int
 
 	TotalGood      int
 	DecidedGood    int
 	WrongDecisions int // good nodes that accepted a value != Vtrue (Lemma 1: must be 0)
 
-	GoodMessages int // protocol transmissions, source included (data+NACK for reactive)
-	BadMessages  int // adversarial transmissions
+	GoodMessages int // protocol transmissions, source included (data rounds for reactive)
+	BadMessages  int // adversarial transmissions (attack spends for reactive)
 	BadCount     int
 
 	// Per-node final state, indexed by NodeID; owned by the caller.
 	Decided      []bool
 	DecidedValue []Value
-	Sent         []int32 // protocol messages sent (data+NACK for reactive)
+	Sent         []int32 // protocol messages sent (per-node NACKs: Reactive.NackSends)
 
 	AvgGoodSends float64 // mean Sent over good non-source nodes
 	MaxGoodSends int
 
-	// Backend extensions: exactly one is non-nil.
-	Sim      *SimResult      // "fast" and "ref"
-	Actor    *ActorResult    // "actor"
-	Reactive *ReactiveResult // "reactive"
+	// Backend extensions: exactly one is non-nil. Reactive-protocol runs
+	// carry the Reactive extension whichever engine executed them.
+	Sim      *SimResult      // "fast" and "ref", threshold protocols
+	Actor    *ActorResult    // "actor", threshold protocols
+	Reactive *ReactiveResult // ProtocolReactive runs (any engine)
 }
 
 // reportFromSim wraps a slot-level engine result. The per-node slices
@@ -94,37 +98,40 @@ func reportFromActor(res *ActorResult, source NodeID) *Report {
 	return rep
 }
 
-// reportFromReactive wraps a reactive runtime result. Sent counts
-// data+NACK messages per node, matching the paper's per-node message
-// accounting; Slots counts data message rounds.
-func reportFromReactive(res *ReactiveResult, source NodeID) *Report {
-	bad := res.Bad
-	sent := make([]int32, len(res.DataSends))
-	good := 0
-	for i := range sent {
-		sent[i] = res.DataSends[i] + res.NackSends[i]
-		if !bad[i] {
-			good += int(sent[i])
-		}
+// attachReactive decorates an engine report with the reactive machine's
+// run record: the ReactiveResult extension (replacing the backend's own
+// extension, so exactly one stays non-nil) and the adversary's attack
+// spend as BadMessages (machine-internal attacks are not radio jams, so
+// the engine itself counts none). Core fields stay engine-native: Slots
+// is TDMA slot time and Sent counts data transmissions; per-node NACKs
+// are in Reactive.NackSends.
+func attachReactive(rep *Report, rs *protocol.ReactiveStats) {
+	if rs == nil {
+		return
 	}
-	rep := &Report{
-		Engine:         "reactive",
-		Completed:      res.Completed,
-		Stalled:        !res.Completed,
-		Slots:          res.MessageRounds,
-		TotalGood:      res.TotalGood,
-		DecidedGood:    res.DecidedGood,
-		WrongDecisions: res.WrongDecisions,
-		GoodMessages:   good,
-		BadMessages:    res.AttacksSpent,
-		BadCount:       res.BadCount,
-		Decided:        res.Decided,
-		DecidedValue:   res.DecidedValue,
-		Sent:           sent,
-		Reactive:       res,
+	rep.BadMessages = rs.AttacksSpent
+	rep.Sim, rep.Actor = nil, nil
+	rep.Reactive = &ReactiveResult{
+		Completed:        rep.Completed,
+		WrongDecisions:   rep.WrongDecisions,
+		DecidedGood:      rep.DecidedGood,
+		TotalGood:        rep.TotalGood,
+		BadCount:         rep.BadCount,
+		LocalBroadcasts:  rs.LocalBroadcasts,
+		MessageRounds:    rs.MessageRounds,
+		DataSends:        rs.DataSends,
+		NackSends:        rs.NackSends,
+		MaxNodeMessages:  rs.MaxNodeMessages,
+		MaxNodeSubSlots:  rs.MaxNodeSubSlots,
+		Theorem4SubSlots: rs.Theorem4SubSlots,
+		ForgedDeliveries: rs.ForgedDeliveries,
+		AttacksSpent:     rs.AttacksSpent,
+		CodewordBits:     rs.CodewordBits,
+		SubBitLength:     rs.SubBitLength,
+		Decided:          rep.Decided,
+		DecidedValue:     rep.DecidedValue,
+		Bad:              rs.Bad,
 	}
-	rep.AvgGoodSends, rep.MaxGoodSends = sendStats(sent, bad, source)
-	return rep
 }
 
 // sendStats computes the mean and max sends over good non-source nodes.

@@ -21,9 +21,16 @@ type Scenario struct {
 	// Params is the fault model (r, t, mf). A zero R is filled in from
 	// the topology's radio range by NewScenario.
 	Params Params
-	// Spec is the protocol under test. The slot-level and actor engines
-	// require it; the reactive engine derives its protocol from Params
-	// and Reactive instead and ignores it.
+	// Protocol selects the node-level protocol state machine the engine
+	// drives: ProtocolThreshold (the default; executes Spec) or
+	// ProtocolReactive (the Section 5 unknown-mf protocol, tuned by
+	// Reactive). Protocol and engine are orthogonal: any protocol runs
+	// on any backend, subject to the backend's own limits (the actor
+	// runtime is fault-free).
+	Protocol ProtocolID
+	// Spec is the threshold protocol under test (ProtocolThreshold
+	// runs). ProtocolReactive derives its protocol from Params and
+	// Reactive instead and ignores it.
 	Spec Spec
 	// Source is the base station (defaults to node 0).
 	Source NodeID
@@ -47,8 +54,27 @@ type Scenario struct {
 	Observer Observer
 }
 
-// ReactiveSpec tunes the Section 5 reactive backend of a Scenario. The
-// protocol does not know the adversary budget mf; it only knows MMax.
+// ProtocolID names a node-level protocol state machine (see
+// Scenario.Protocol and WithProtocol).
+type ProtocolID string
+
+// The protocol state machines.
+const (
+	// ProtocolThreshold is the static-budget threshold family: the
+	// Scenario's Spec (protocol B, Bheter, the Koo baseline,
+	// full-budget) executed through the shared acceptance machine. The
+	// zero ProtocolID means ProtocolThreshold.
+	ProtocolThreshold ProtocolID = "threshold"
+	// ProtocolReactive is protocol Breactive (Section 5, unknown mf):
+	// certified propagation over the reactive AUED-coded local
+	// broadcast, tuned by Scenario.Reactive. The adversary is selected
+	// by Reactive.Policy, not a Strategy.
+	ProtocolReactive ProtocolID = "reactive"
+)
+
+// ReactiveSpec tunes the ProtocolReactive state machine of a Scenario.
+// The protocol does not know the adversary budget mf; it only knows
+// MMax.
 type ReactiveSpec struct {
 	// MMax is the loose budget bound known to the protocol (sets the
 	// sub-bit length L). 0 defaults to max(64, Params.MF).
@@ -58,10 +84,16 @@ type ReactiveSpec struct {
 	// Policy selects the adversary behavior (0 = PolicyDisrupt).
 	Policy AttackPolicy
 	// QuietWindow overrides the (2r+1)²−1 NACK-free rounds required to
-	// finish a local broadcast (0 = paper default).
+	// finish a local broadcast (0 = paper default). It only exists in
+	// the deprecated sequential RunReactive wrapper: on the shared
+	// engine stack a local broadcast ends when a data round draws no
+	// NACK, which the quiet window cannot change (see DESIGN.md §10),
+	// so engines reject a nonzero value instead of silently ignoring
+	// it.
 	QuietWindow int
 	// MaxRoundsPerBroadcast caps one local broadcast (0 = generous
-	// default).
+	// default). Deprecated sequential RunReactive wrapper only; the
+	// engines cap runs with MaxSlots and reject a nonzero value.
 	MaxRoundsPerBroadcast int
 }
 
@@ -122,6 +154,12 @@ func (sc *Scenario) validate() error {
 	if sc.MaxSlots < 0 {
 		return fmt.Errorf("bftbcast: scenario MaxSlots %d must be >= 0", sc.MaxSlots)
 	}
+	switch sc.Protocol {
+	case "", ProtocolThreshold, ProtocolReactive:
+	default:
+		return fmt.Errorf("bftbcast: unknown protocol %q (want %q or %q)",
+			sc.Protocol, ProtocolThreshold, ProtocolReactive)
+	}
 	return nil
 }
 
@@ -135,9 +173,14 @@ func WithParams(p Params) ScenarioOption {
 	return func(sc *Scenario) { sc.Params = p }
 }
 
-// WithSpec sets the protocol under test.
+// WithSpec sets the threshold protocol under test.
 func WithSpec(s Spec) ScenarioOption {
 	return func(sc *Scenario) { sc.Spec = s }
+}
+
+// WithProtocol selects the node-level protocol state machine.
+func WithProtocol(p ProtocolID) ScenarioOption {
+	return func(sc *Scenario) { sc.Protocol = p }
 }
 
 // WithSource sets the base station.

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # bench_sim.sh — run the engine sweep benchmarks (sparse fast path vs the
-# dense sim/ref baseline, the harness parallel variant, and the
+# dense sim/ref baseline, the harness parallel variant, the re-platformed
+# reactive-protocol sweep, the protocol-layer BVDeliver hot path, and the
 # large-scale tier: the 160×160 torus sweep and the 100k-node RGG
 # single-run) and emit BENCH_sim.json, the machine-readable record the CI
 # bench job uploads and the repo checks in as the perf trajectory across
@@ -8,7 +9,10 @@
 #
 # When the checked-in BENCH_sim.json exists, per-benchmark *_vs_prev
 # speedups are recorded against it and the run FAILS if
-# BenchmarkSweep45Scenario regressed by more than 10% (the CI gate).
+# BenchmarkSweep45Scenario regressed by more than 10% in ns/op or
+# BenchmarkBVDeliver by more than 10% in allocs/op (the CI gates; the
+# allocation gate is machine-independent and guards the protocol layer's
+# zero-alloc delivery contract).
 #
 # Usage: scripts/bench_sim.sh [benchtime] [output]
 #   benchtime  go test -benchtime value (default 10x: the sweep is
@@ -23,7 +27,7 @@ OUT="${2:-BENCH_sim.json}"
 PREVFLAGS=""
 if [ -f BENCH_sim.json ]; then
   cp BENCH_sim.json /tmp/bench_prev.json
-  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10"
+  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10,BenchmarkBVDeliver:allocs:1.10"
 fi
 
 go build -o /tmp/benchjson ./cmd/benchjson
@@ -34,8 +38,14 @@ go build -o /tmp/benchjson ./cmd/benchjson
 RAW=/tmp/bench_raw.txt
 run_suite() {
   go test -run '^$' -timeout 1800s \
-    -bench 'Benchmark(Sweep45(Sequential|Parallel|DenseRef|Runner|Scenario)|Sweep160Scenario|RGG100kRun)$' \
+    -bench 'Benchmark(Sweep45(Sequential|Parallel|DenseRef|Runner|Scenario)|ReactiveSweep|Sweep160Scenario|RGG100kRun)$' \
     -benchmem -benchtime "$BENCHTIME" . > "$RAW"
+  # The protocol-layer delivery hot path lives in internal/bv; its
+  # allocs/op line joins the same document so the allocation gate can
+  # guard it.
+  go test -run '^$' -timeout 600s \
+    -bench 'BenchmarkBVDeliver$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/bv >> "$RAW"
   cat "$RAW" >&2
 }
 
