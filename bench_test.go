@@ -303,6 +303,49 @@ func BenchmarkRGG100kRun(b *testing.B) {
 	}
 }
 
+// BenchmarkRGG1MRun is the million-node scale proof: one fault-free
+// protocol-B broadcast on a connected random geometric graph of 2^20
+// nodes (the RGG constructor's cap). The graph and its compiled plan are
+// built once outside the timer; the measured op is the full broadcast to
+// completion on the sequential path (the 1-CPU CI runners cannot measure
+// a parallel speedup; TestParallelRunWorkersReportParity proves the
+// sharded path is bit-identical, so its multi-core gain is pure wall
+// clock). Skipped in -short runs: graph construction alone takes
+// seconds.
+func BenchmarkRGG1MRun(b *testing.B) {
+	if testing.Short() {
+		b.Skip("million-node benchmark skipped in -short mode")
+	}
+	g, err := bftbcast.NewRGG(1<<20, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bftbcast.Params{R: 1, T: 0, MF: 0}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(g),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := bftbcast.EngineFast.Run(ctx, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Completed || rep.WrongDecisions != 0 {
+			b.Fatalf("1M broadcast failed: completed=%v wrong=%d", rep.Completed, rep.WrongDecisions)
+		}
+	}
+}
+
 // --- Micro-benchmarks of the core primitives ---
 
 // BenchmarkProtocolBRun measures a full protocol B broadcast on a 20×20

@@ -65,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		k          = fs.Int("k", 16, "payload bits for the reactive protocol")
 		traceFlag  = fs.Bool("trace", false, "emit acceptance events as JSON lines")
 		timeout    = fs.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
+		runWorkers = fs.Int("run-workers", 1, "fast engine: shard big slots across this many goroutines (bit-identical output)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -114,6 +115,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bftbcast.WithTopology(tp),
 		bftbcast.WithParams(params),
 		bftbcast.WithSeed(*seed),
+	}
+	if *runWorkers != 1 {
+		// Pass 0 and negative values through too: the scenario rejects
+		// negatives with an actionable error instead of the CLI silently
+		// running sequentially.
+		opts = append(opts, bftbcast.WithRunWorkers(*runWorkers))
 	}
 
 	if reactive {

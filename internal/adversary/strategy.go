@@ -148,6 +148,7 @@ type corruptorCore struct {
 	entries      []denyEntry
 	used         []grid.NodeID // jammers spent this slot (scratch)
 	nbrScratch   []grid.NodeID // neighbor walks (scratch)
+	jamBuf       []radio.Tx    // emitted jams (scratch; engine consumes before the next slot)
 
 	// badNbr caches, per queried victim, its bad neighbors (a handful of
 	// ids out of a full neighborhood walk). Bad-set membership is fixed
@@ -252,7 +253,7 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 	if wrong == radio.ValueNone {
 		wrong = radio.ValueFalse
 	}
-	var jams []radio.Tx
+	jams := c.jamBuf[:0]
 	c.used = c.used[:0]
 	for _, e := range c.entries {
 		if c.coveredEpoch[e.u] == c.epoch {
@@ -277,6 +278,7 @@ func (c *corruptorCore) jams(v View, tentative []radio.Delivery) []radio.Tx {
 			c.coveredEpoch[nb] = c.epoch
 		}
 	}
+	c.jamBuf = jams
 	return jams
 }
 
@@ -437,6 +439,7 @@ type Spammer struct {
 	WrongValue radio.Value
 
 	badList []grid.NodeID
+	jamBuf  []radio.Tx // scratch; engine consumes before the next slot
 	primed  bool
 }
 
@@ -461,11 +464,12 @@ func (s *Spammer) Jams(v View, _ int, _ []radio.Delivery) []radio.Tx {
 	if wrong == radio.ValueNone {
 		wrong = radio.ValueFalse
 	}
-	var jams []radio.Tx
+	jams := s.jamBuf[:0]
 	for _, b := range s.badList {
 		if v.BadBudgetLeft(b) > 0 {
 			jams = append(jams, radio.Tx{From: b, Value: wrong, Jam: true})
 		}
 	}
+	s.jamBuf = jams
 	return jams
 }

@@ -71,8 +71,22 @@ type Acceptance struct {
 	Decided []bool
 	Value   []radio.Value
 
-	counts   []int32        // counts mode: [node*(MaxTrackedValue+1) + value]
-	relayers [][]relayEntry // distinct mode: per node, flat (value, relayer) records
+	counts []int32 // counts mode: [node*(MaxTrackedValue+1) + value]
+
+	// Distinct mode keeps every node's relay records in one flat arena
+	// instead of a per-node slice: relaySpan[i] is node i's [start,end)
+	// window into relayArena, valid only when relayStamp[i] matches the
+	// current relayEpoch. Appends go to the arena tail, relocating a
+	// node's short span when another node appended in between — the spans
+	// stay tiny (a node decides after at most Threshold entries of one
+	// value plus adversary-planted noise), so the relocation copies are
+	// bounded and a whole run costs three allocations instead of one per
+	// undecided node. Rebinding bumps relayEpoch, invalidating every span
+	// without clearing.
+	relaySpan  [][2]int32
+	relayStamp []int32
+	relayEpoch int32
+	relayArena []relayEntry
 
 	// OnAccept, when non-nil, observes each acceptance.
 	OnAccept func(id grid.NodeID, v radio.Value)
@@ -98,7 +112,9 @@ func NewAcceptance(cfg AcceptConfig) (*Acceptance, error) {
 		Value:   make([]radio.Value, n),
 	}
 	if cfg.Distinct {
-		a.relayers = make([][]relayEntry, n)
+		a.relaySpan = make([][2]int32, n)
+		a.relayStamp = make([]int32, n)
+		a.relayEpoch = 1
 	} else {
 		a.counts = make([]int32, n*(MaxTrackedValue+1))
 	}
@@ -118,7 +134,7 @@ func (a *Acceptance) bindCounts(t topo.Topology, source grid.NodeID, threshold i
 	a.cfg = AcceptConfig{Topo: t, Source: source, Threshold: threshold}
 	n := t.Size()
 	a.n = n
-	a.relayers = nil
+	a.relaySpan, a.relayStamp, a.relayArena = nil, nil, nil
 	if len(a.Decided) != n || a.counts == nil {
 		a.Decided = make([]bool, n)
 		a.Value = make([]radio.Value, n)
@@ -196,7 +212,12 @@ func (a *Acceptance) deliverDistinct(to, from grid.NodeID, v radio.Value) bool {
 		a.accept(to, v)
 		return true
 	}
-	entries := a.relayers[to]
+	span := a.relaySpan[to]
+	if a.relayStamp[to] != a.relayEpoch {
+		a.relayStamp[to] = a.relayEpoch
+		span = [2]int32{}
+	}
+	entries := a.relayArena[span[0]:span[1]]
 	count := 0
 	for _, e := range entries {
 		if e.v != v {
@@ -207,13 +228,16 @@ func (a *Acceptance) deliverDistinct(to, from grid.NodeID, v radio.Value) bool {
 		}
 		count++
 	}
-	if entries == nil {
-		// One right-sized allocation per undecided node: Threshold
-		// entries certify, so Threshold+1 covers the common case with
-		// one wrong value.
-		entries = make([]relayEntry, 0, a.cfg.Threshold+1)
+	// Append to the arena tail; when another node appended since this
+	// node's last relay, relocate the (tiny) span to the tail first.
+	if int(span[1]) != len(a.relayArena) {
+		start := int32(len(a.relayArena))
+		a.relayArena = append(a.relayArena, entries...)
+		span = [2]int32{start, start + span[1] - span[0]}
 	}
-	a.relayers[to] = append(entries, relayEntry{from: from, v: v})
+	a.relayArena = append(a.relayArena, relayEntry{from: from, v: v})
+	span[1]++
+	a.relaySpan[to] = span
 	if count+1 < a.cfg.Threshold {
 		return false
 	}
@@ -225,8 +249,8 @@ func (a *Acceptance) deliverDistinct(to, from grid.NodeID, v radio.Value) bool {
 func (a *Acceptance) accept(id grid.NodeID, v radio.Value) {
 	a.Decided[id] = true
 	a.Value[id] = v
-	if a.relayers != nil {
-		a.relayers[id] = nil // no longer needed
+	if a.relaySpan != nil {
+		a.relaySpan[id] = [2]int32{} // no longer needed
 	}
 	if a.OnAccept != nil {
 		a.OnAccept(id, v)
@@ -236,8 +260,12 @@ func (a *Acceptance) accept(id grid.NodeID, v radio.Value) {
 // PendingRelayers returns how many distinct relayers of v node id has
 // recorded (diagnostics; distinct mode only).
 func (a *Acceptance) PendingRelayers(id grid.NodeID, v radio.Value) int {
+	if a.relayStamp[id] != a.relayEpoch {
+		return 0
+	}
+	span := a.relaySpan[id]
 	n := 0
-	for _, e := range a.relayers[id] {
+	for _, e := range a.relayArena[span[0]:span[1]] {
 		if e.v == v {
 			n++
 		}

@@ -172,3 +172,30 @@ type Instance interface {
 	// instance publish run statistics to its machine.
 	Finish(slots int)
 }
+
+// ShardedInstance is an optional Instance refinement for engines that
+// shard one slot's deliveries across worker goroutines (the fast
+// engine's in-run parallel path, sim.Config.RunWorkers). An instance may
+// implement it when its per-delivery transition touches only
+// per-receiver state — the counts-threshold machine qualifies: receipt
+// counters, per-(node,value) counts and the decided/value arrays are all
+// indexed by the receiver, so shards with disjoint receivers commute and
+// the merged outcome is bit-identical to one sequential Deliver over the
+// whole batch.
+//
+// Engines guarantee receiver disjointness from the TDMA schedule (one
+// slot's transmitters share no receivers under the distance-2 coloring)
+// and fire the run's Hooks themselves by replaying the merged batch in
+// canonical ascending-receiver order; DeliverShard therefore takes no
+// hooks. Instances that cannot offer this (the reactive machine's NACK
+// aggregation is cross-receiver) simply don't implement the interface
+// and run sequentially whatever RunWorkers says.
+type ShardedInstance interface {
+	Instance
+	// DeliverShard applies one receiver-disjoint shard of a slot's final
+	// deliveries, appending the sends to schedule to buf (ascending
+	// receiver order in, ascending out). It must be safe to call
+	// concurrently with other DeliverShard calls over disjoint receivers,
+	// and never with any other Instance method.
+	DeliverShard(ds []radio.Delivery, buf []Send) []Send
+}

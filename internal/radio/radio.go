@@ -12,7 +12,9 @@ package radio
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
+	"sync/atomic"
 
 	"bftbcast/internal/grid"
 	"bftbcast/internal/topo"
@@ -161,8 +163,16 @@ type Medium struct {
 	jammed   []bool
 	sending  []bool // half-duplex: transmitters cannot receive this slot
 
-	touched []grid.NodeID // receivers touched this slot
-	out     []Delivery    // ResolveAppend accumulator (nil in callback mode)
+	// words/summary are the two-level touched bitset: words has one bit
+	// per node, summary one bit per word of words. Marking sets the bit of
+	// each first-touched receiver; emission scans set bits in ascending id
+	// order and clears as it goes, so multi-transmitter slots report
+	// deliveries in receiver order in O(touched + n/4096) without sorting.
+	// Allocated lazily on the first slot that needs them.
+	words   []uint64
+	summary []uint64
+
+	out []Delivery // ResolveAppend accumulator (nil in callback mode)
 
 	// GoodGoodCollisions counts receivers that observed two or more
 	// concurrent good transmissions, which a valid TDMA schedule makes
@@ -192,8 +202,31 @@ func NewMediumShared(adj *Adjacency) *Medium {
 		jamFrom:  make([]grid.NodeID, n),
 		jammed:   make([]bool, n),
 		sending:  make([]bool, n),
-		touched:  make([]grid.NodeID, 0, 256),
 	}
+}
+
+// ensureBits sizes the touched bitset on first use, so runs that never
+// see a multi-transmitter slot pay nothing for it.
+func (m *Medium) ensureBits() {
+	if m.words != nil {
+		return
+	}
+	nw := (len(m.mark) + 63) / 64
+	m.words = make([]uint64, nw)
+	m.summary = make([]uint64, (nw+63)/64)
+}
+
+// nextEpoch advances the per-slot scratch epoch, resetting the stamps on
+// wraparound (extremely long runs).
+func (m *Medium) nextEpoch() int32 {
+	m.epoch++
+	if m.epoch < 0 {
+		m.epoch = 1
+		for i := range m.mark {
+			m.mark[i] = 0
+		}
+	}
+	return m.epoch
 }
 
 // Neighbors returns the flattened neighbor list of id, in the
@@ -247,15 +280,11 @@ func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
 		return nil
 	}
 
-	m.epoch++
-	if m.epoch < 0 { // extremely long runs: reset stamps
-		m.epoch = 1
-		for i := range m.mark {
-			m.mark[i] = 0
-		}
+	epoch := m.nextEpoch()
+	useBits := len(txs) > mergeMaxTx
+	if useBits {
+		m.ensureBits()
 	}
-	m.touched = m.touched[:0]
-	epoch := m.epoch
 
 	for i := range txs {
 		m.sending[txs[i].From] = true
@@ -271,7 +300,13 @@ func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
 				m.goodVal[to] = ValueNone
 				m.jamVal[to] = ValueNone
 				m.jammed[to] = false
-				m.touched = append(m.touched, to)
+				if useBits {
+					wi := uint32(to) >> 6
+					if m.words[wi] == 0 {
+						m.summary[wi>>6] |= 1 << (wi & 63)
+					}
+					m.words[wi] |= 1 << (uint32(to) & 63)
+				}
 			}
 			if tx.Jam {
 				if !m.jammed[to] {
@@ -291,27 +326,16 @@ func (m *Medium) Resolve(txs []Tx, deliver func(Delivery)) error {
 		}
 	}
 
-	// Deliveries must be reported in ascending receiver id order. When
-	// the slot touched a large fraction of the network (dense waves of
-	// same-color transmitters), scanning the epoch marks in id order is
-	// cheaper than sorting; with only a few transmitters, merging their
-	// already-sorted CSR neighbor lists beats sorting the touched list;
-	// otherwise sort the short touched list in place (slices.Sort does
-	// not allocate).
-	switch {
-	case len(m.touched)*4 >= len(m.mark):
-		for i := range m.mark {
-			if m.mark[i] == epoch {
-				m.emit(grid.NodeID(i), deliver)
-			}
-		}
-	case len(txs) <= mergeMaxTx:
+	// Deliveries must be reported in ascending receiver id order. With
+	// only a few transmitters, merging their already-sorted CSR neighbor
+	// lists does that directly; bigger slots (dense waves of same-color
+	// transmitters) scan the touched bitset, which visits receivers in id
+	// order in O(touched + n/4096) — replacing the sort that used to
+	// dominate large-n runs.
+	if useBits {
+		m.emitBits(deliver)
+	} else {
 		m.emitMerged(txs, deliver)
-	default:
-		slices.Sort(m.touched)
-		for _, to := range m.touched {
-			m.emit(to, deliver)
-		}
 	}
 
 	for i := range txs {
@@ -398,4 +422,105 @@ func (m *Medium) emit(to grid.NodeID, deliver func(Delivery)) {
 	} else {
 		deliver(d)
 	}
+}
+
+// emitBits emits every receiver whose touched bit is set, in ascending id
+// order, clearing the bitset as it scans so the next slot starts clean.
+func (m *Medium) emitBits(deliver func(Delivery)) {
+	for si, sw := range m.summary {
+		if sw == 0 {
+			continue
+		}
+		m.summary[si] = 0
+		for sw != 0 {
+			wi := si<<6 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			w := m.words[wi]
+			m.words[wi] = 0
+			base := wi << 6
+			for w != 0 {
+				m.emit(grid.NodeID(base+bits.TrailingZeros64(w)), deliver)
+				w &= w - 1
+			}
+		}
+	}
+}
+
+// ShardBegin opens a sharded resolution pass: the engine's in-run
+// parallel path (see sim.Config.RunWorkers) marks disjoint subsets of one
+// slot's transmissions from worker goroutines via ShardMark, then
+// collects the deliveries on its coordinator goroutine via ShardCollect.
+//
+// The pass is restricted to good (non-jam) transmissions of one TDMA
+// color class: under a valid distance-2 coloring the transmitters'
+// receiver sets are pairwise disjoint, so all per-receiver scratch writes
+// are data-race free and the outcome is independent of how transmissions
+// are sharded. Feeding transmissions that violate the coloring (two
+// transmitters sharing a receiver) is a schedule bug; a same-goroutine
+// violation is still counted as a GoodGoodCollision, a cross-goroutine
+// one is a data race and the outcome is unspecified.
+func (m *Medium) ShardBegin() {
+	m.ensureBits()
+	m.nextEpoch()
+}
+
+// ShardMark marks the receivers of one shard of good transmissions. It
+// may be called concurrently from multiple goroutines between ShardBegin
+// and ShardCollect, provided the shards' transmitters come from one
+// collision-free color class (see ShardBegin). It returns an error for
+// transmissions Resolve would reject.
+func (m *Medium) ShardMark(txs []Tx) error {
+	epoch := m.epoch
+	for i := range txs {
+		tx := &txs[i]
+		from := tx.From
+		if tx.Value == ValueNone {
+			return fmt.Errorf("radio: transmission from %d carries ValueNone", from)
+		}
+		if int(from) < 0 || int(from) >= len(m.mark) {
+			return fmt.Errorf("radio: transmitter %d out of range", from)
+		}
+		if tx.Jam {
+			return fmt.Errorf("radio: jam from %d in a sharded pass (jam slots resolve sequentially)", from)
+		}
+		v := tx.Value
+		for _, to := range m.adj.Neighbors(from) {
+			if m.mark[to] != epoch {
+				// Sole toucher under a valid schedule: plain per-receiver
+				// writes, only the shared bitset words need atomics. The
+				// summary load/or pair is written to discard both atomic
+				// results: summary ends up set iff the word is non-zero
+				// (a racing first-toucher sets it redundantly, which is
+				// idempotent), and the value-returning atomic.OrUint64
+				// intrinsic is miscompiled by go1.24.0 on amd64 — the
+				// register holding the OR result is reused as the receiver
+				// pointer in the following instruction.
+				wi := uint32(to) >> 6
+				if atomic.LoadUint64(&m.words[wi]) == 0 {
+					atomic.OrUint64(&m.summary[wi>>6], 1<<(wi&63))
+				}
+				atomic.OrUint64(&m.words[wi], 1<<(uint32(to)&63))
+				m.mark[to] = epoch
+				m.nGood[to] = 1
+				m.goodVal[to] = v
+				m.goodFrom[to] = from
+				m.jammed[to] = false
+			} else {
+				m.nGood[to]++ // same-shard schedule violation → collision
+			}
+		}
+	}
+	return nil
+}
+
+// ShardCollect closes a sharded resolution pass after every ShardMark
+// call has completed (the engine's phase barrier orders the marks before
+// the collect), appending the slot's deliveries to dst in ascending
+// receiver id order — exactly the deliveries and order Resolve would
+// produce for the same transmissions.
+func (m *Medium) ShardCollect(dst []Delivery) []Delivery {
+	m.out = dst
+	m.emitBits(nil)
+	dst, m.out = m.out, nil
+	return dst
 }

@@ -1,0 +1,11 @@
+package sim
+
+// SetMinShardWork overrides the parallel-path slot gate, returning a
+// restore func. Tests force it to 1 so the tiny oracle configurations
+// actually exercise the sharded path instead of falling back to the
+// (bit-identical) sequential one.
+func SetMinShardWork(v int64) (restore func()) {
+	old := minShardWork
+	minShardWork = v
+	return func() { minShardWork = old }
+}

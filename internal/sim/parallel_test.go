@@ -1,0 +1,192 @@
+package sim_test
+
+// In-run parallelism (Config.RunWorkers, DESIGN.md §11) is sold as
+// bit-identical to the sequential path. These tests hold it to that: the
+// randomized oracle diffs full Results between workers=1 and workers
+// 2/4/8 over the topology × placement × strategy matrix, the observer
+// test diffs the complete event streams, and the cancellation test
+// proves the gang's goroutines join on mid-run context cancellation
+// (run under -race in CI's parallel leg).
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"bftbcast/internal/adversary"
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/radio"
+	"bftbcast/internal/sim"
+	"bftbcast/internal/sim/simtest"
+)
+
+// workerCounts is the RunWorkers matrix the oracle sweeps against the
+// sequential baseline.
+var workerCounts = []int{2, 4, 8}
+
+func TestParallelOracle(t *testing.T) {
+	// The randomized configurations are tiny; force every non-jam slot
+	// through the sharded path so the oracle exercises it for real.
+	defer sim.SetMinShardWork(1)()
+
+	cases := 60
+	if testing.Short() {
+		cases = 16
+	}
+	gen, err := simtest.NewGen(0x9A7A11E1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attacked int
+	for i := 0; i < cases; i++ {
+		c := gen.Next()
+		seq, seqErr := sim.Run(c.Build())
+		for _, w := range workerCounts {
+			cfg := c.Build()
+			cfg.RunWorkers = w
+			par, parErr := sim.Run(cfg)
+			if (seqErr != nil) != (parErr != nil) {
+				t.Fatalf("case %d %s workers=%d: error divergence: seq=%v par=%v",
+					i, c.Desc, w, seqErr, parErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			if err := simtest.DiffResults(par, seq); err != nil {
+				t.Fatalf("case %d %s workers=%d: %v", i, c.Desc, w, err)
+			}
+		}
+		if seqErr == nil && seq.BadMessages > 0 {
+			attacked++
+		}
+	}
+	if attacked == 0 {
+		t.Fatal("degenerate case mix: no run saw adversarial transmissions")
+	}
+}
+
+// event is one observer callback, flattened for comparison.
+type event struct {
+	kind        string
+	slot        int
+	id          grid.NodeID
+	to          grid.NodeID
+	v           radio.Value
+	adversarial bool
+}
+
+// observe wires every observer callback of cfg to append into a fresh
+// event log and returns the log.
+func observe(cfg *sim.Config) *[]event {
+	log := &[]event{}
+	cfg.OnSlotStart = func(slot int) {
+		*log = append(*log, event{kind: "slot", slot: slot})
+	}
+	cfg.OnSend = func(slot int, from grid.NodeID, v radio.Value, adversarial bool) {
+		*log = append(*log, event{kind: "send", slot: slot, id: from, v: v, adversarial: adversarial})
+	}
+	cfg.OnDeliver = func(slot int, d radio.Delivery) {
+		*log = append(*log, event{kind: "deliver", slot: slot, id: d.From, to: d.To, v: d.Value})
+	}
+	cfg.OnAccept = func(slot int, id grid.NodeID, v radio.Value) {
+		*log = append(*log, event{kind: "accept", slot: slot, id: id, v: v})
+	}
+	return log
+}
+
+// TestParallelObserverStream asserts the full observer event stream —
+// slot starts, sends, deliveries, acceptances, in order — is identical
+// between sequential and sharded runs, adversary included.
+func TestParallelObserverStream(t *testing.T) {
+	defer sim.SetMinShardWork(1)()
+
+	gen, err := simtest.NewGen(0x0B5E17E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i := 0; checked < 8 && i < 64; i++ {
+		c := gen.Next()
+		seqCfg := c.Build()
+		seqLog := observe(&seqCfg)
+		_, seqErr := sim.Run(seqCfg)
+		if seqErr != nil {
+			continue
+		}
+		checked++
+		for _, w := range workerCounts {
+			parCfg := c.Build()
+			parLog := observe(&parCfg)
+			parCfg.RunWorkers = w
+			if _, err := sim.Run(parCfg); err != nil {
+				t.Fatalf("case %d %s workers=%d: %v", i, c.Desc, w, err)
+			}
+			if len(*parLog) != len(*seqLog) {
+				t.Fatalf("case %d %s workers=%d: %d events vs %d sequential",
+					i, c.Desc, w, len(*parLog), len(*seqLog))
+			}
+			for j := range *seqLog {
+				if (*parLog)[j] != (*seqLog)[j] {
+					t.Fatalf("case %d %s workers=%d: event %d diverged: %+v vs %+v",
+						i, c.Desc, w, j, (*parLog)[j], (*seqLog)[j])
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no successful runs to compare")
+	}
+}
+
+// TestParallelCancel cancels a parallel run from inside a slot callback
+// and asserts the run returns ctx.Err() promptly with every gang worker
+// joined — the deferred Gang.Close on the cancellation path. Run under
+// -race this also shakes out coordinator/worker races around teardown.
+func TestParallelCancel(t *testing.T) {
+	defer sim.SetMinShardWork(1)()
+
+	tor, err := grid.New(35, 35, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{R: 2, T: 1, MF: 2}
+	spec, err := core.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slots := 0
+	cfg := sim.Config{
+		Topo: tor, Params: params, Spec: spec,
+		Placement:  adversary.Random{T: 1, Density: 0.03, Seed: 7},
+		Strategy:   adversary.NewCorruptor(),
+		RunWorkers: 4,
+		OnSlotStart: func(int) {
+			slots++
+			if slots == 5 {
+				cancel()
+			}
+		},
+	}
+	res, err := sim.RunContext(ctx, cfg)
+	if err != context.Canceled {
+		t.Fatalf("got (%v, %v), want context.Canceled", res, err)
+	}
+	if slots < 5 {
+		t.Fatalf("run ended after %d slots, before the cancellation point", slots)
+	}
+	// The gang closes synchronously on the way out; give the runtime a
+	// few scheduling rounds for unrelated goroutines to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before run, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -100,20 +100,53 @@ func WindowCount(t Topology, marked []bool, id NodeID) (int, error) {
 // marked nodes in the node's closed neighborhood ball. A placement is
 // t-locally-bounded exactly when MaxWindowCount(marked) <= t.
 // Implementations with a faster counting scheme (the torus uses
-// separable prefix sums) are dispatched to automatically.
+// separable prefix sums) are dispatched to automatically; topologies
+// exposing their adjacency in CSR form (the RGG) are scanned directly
+// over the flat arrays. Both paths — and the generic fallback, which
+// hoists its neighbor callback out of the per-node loop — run without
+// per-node allocation, so placement validation stays off the allocation
+// profile of large-n runs.
 func MaxWindowCount(t Topology, marked []bool) (int, error) {
 	if fast, ok := t.(interface{ MaxWindowCount([]bool) (int, error) }); ok {
 		return fast.MaxWindowCount(marked)
 	}
-	if len(marked) != t.Size() {
-		return 0, fmt.Errorf("topo: marked has %d entries, want %d", len(marked), t.Size())
+	n := t.Size()
+	if len(marked) != n {
+		return 0, fmt.Errorf("topo: marked has %d entries, want %d", len(marked), n)
 	}
 	maxC := 0
-	for i := 0; i < t.Size(); i++ {
-		c, err := WindowCount(t, marked, NodeID(i))
-		if err != nil {
-			return 0, err
+	if src, ok := t.(interface{ CSR() ([]int32, []NodeID) }); ok {
+		off, nbrs := src.CSR()
+		for i := 0; i < n; i++ {
+			c := 0
+			if marked[i] {
+				c++
+			}
+			for _, nb := range nbrs[off[i]:off[i+1]] {
+				if marked[nb] {
+					c++
+				}
+			}
+			if c > maxC {
+				maxC = c
+			}
 		}
+		return maxC, nil
+	}
+	// One closure over one counter for the whole scan: allocating a fresh
+	// closure per node is what used to dominate large-n allocation profiles.
+	c := 0
+	count := func(nb NodeID) {
+		if marked[nb] {
+			c++
+		}
+	}
+	for i := 0; i < n; i++ {
+		c = 0
+		if marked[i] {
+			c++
+		}
+		t.ForEachNeighbor(NodeID(i), count)
 		if c > maxC {
 			maxC = c
 		}

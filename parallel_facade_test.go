@@ -1,0 +1,78 @@
+package bftbcast_test
+
+// Facade-level check of in-run parallelism (WithRunWorkers): on a
+// topology big enough to trip the engine's real slot-size gate — no test
+// override here — the full public Report must be identical for every
+// worker count, adversary included.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"bftbcast"
+)
+
+func TestParallelRunWorkersReportParity(t *testing.T) {
+	// 105×105 torus, r=2: 441-node color classes of degree 24, so full
+	// relay waves clear the engine's minimum-work gate and actually run
+	// sharded.
+	tor, err := bftbcast.NewTopology(bftbcast.TopologySpec{Kind: "torus", W: 105, H: 105, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+		bftbcast.WithAdversary(
+			bftbcast.RandomPlacement{T: 2, Density: 0.02, Seed: 11},
+			bftbcast.NewCorruptor(),
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	seq, err := bftbcast.EngineFast.Run(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Completed {
+		t.Fatalf("baseline run did not complete: %+v", seq)
+	}
+	for _, workers := range []int{2, 8} {
+		sc, err := base.With(bftbcast.WithRunWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := bftbcast.EngineFast.Run(ctx, sc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("workers=%d: Report diverged from sequential:\npar: %+v\nseq: %+v",
+				workers, par, seq)
+		}
+	}
+}
+
+func TestParallelRunWorkersValidation(t *testing.T) {
+	tor, err := bftbcast.NewTopology(bftbcast.TopologySpec{Kind: "torus", W: 15, H: 15, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithRunWorkers(-1),
+	)
+	if err == nil {
+		t.Fatal("negative RunWorkers accepted")
+	}
+}

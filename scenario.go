@@ -47,6 +47,13 @@ type Scenario struct {
 	// MaxSlots caps slot-level and actor runs; 0 picks a generous
 	// engine-derived default.
 	MaxSlots int
+	// RunWorkers > 1 shards each big slot of a fast-engine run across
+	// that many worker goroutines (in-run parallelism, DESIGN.md §11).
+	// Reports and observer streams are bit-identical to the sequential
+	// run for every worker count; 0 or 1 runs sequentially. Only the fast
+	// engine's threshold protocol path parallelizes — the reactive
+	// protocol and the other engines ignore it.
+	RunWorkers int
 	// Reactive tunes the reactive backend; its zero value picks the
 	// documented defaults.
 	Reactive ReactiveSpec
@@ -154,6 +161,9 @@ func (sc *Scenario) validate() error {
 	if sc.MaxSlots < 0 {
 		return fmt.Errorf("bftbcast: scenario MaxSlots %d must be >= 0", sc.MaxSlots)
 	}
+	if sc.RunWorkers < 0 {
+		return fmt.Errorf("bftbcast: scenario RunWorkers %d must be >= 0", sc.RunWorkers)
+	}
 	switch sc.Protocol {
 	case "", ProtocolThreshold, ProtocolReactive:
 	default:
@@ -211,6 +221,13 @@ func WithSeed(seed uint64) ScenarioOption {
 // WithMaxSlots caps the run length of the slot-level and actor engines.
 func WithMaxSlots(n int) ScenarioOption {
 	return func(sc *Scenario) { sc.MaxSlots = n }
+}
+
+// WithRunWorkers shards each big slot of a fast-engine run across n
+// worker goroutines (see Scenario.RunWorkers). Results are bit-identical
+// for every n; 0 or 1 runs sequentially.
+func WithRunWorkers(n int) ScenarioOption {
+	return func(sc *Scenario) { sc.RunWorkers = n }
 }
 
 // WithReactive tunes the reactive backend.

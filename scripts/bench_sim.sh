@@ -2,17 +2,20 @@
 # bench_sim.sh — run the engine sweep benchmarks (sparse fast path vs the
 # dense sim/ref baseline, the harness parallel variant, the re-platformed
 # reactive-protocol sweep, the protocol-layer BVDeliver hot path, and the
-# large-scale tier: the 160×160 torus sweep and the 100k-node RGG
-# single-run) and emit BENCH_sim.json, the machine-readable record the CI
-# bench job uploads and the repo checks in as the perf trajectory across
-# PRs.
+# large-scale tier: the 160×160 torus sweep, the 100k-node RGG
+# single-run, and the million-node RGG single-run) and emit
+# BENCH_sim.json, the machine-readable record the CI bench job uploads
+# and the repo checks in as the perf trajectory across PRs.
 #
 # When the checked-in BENCH_sim.json exists, per-benchmark *_vs_prev
-# speedups are recorded against it and the run FAILS if
-# BenchmarkSweep45Scenario regressed by more than 10% in ns/op or
-# BenchmarkBVDeliver by more than 10% in allocs/op (the CI gates; the
-# allocation gate is machine-independent and guards the protocol layer's
-# zero-alloc delivery contract).
+# speedups are recorded against it and the run FAILS (the CI gates) if:
+#   - BenchmarkSweep45Scenario, BenchmarkRGG100kRun or BenchmarkRGG1MRun
+#     regressed by more than 10%/10%/15% in ns/op, or
+#   - BenchmarkBVDeliver, BenchmarkRGG100kRun or BenchmarkRGG1MRun
+#     regressed by more than 10% in allocs/op.
+# Allocation gates are machine-independent; they guard the protocol
+# layer's zero-alloc delivery contract and the large-scale fast path's
+# steady-state reuse (PR 6 took RGG100kRun from ~200k allocs/op to ~130).
 #
 # Usage: scripts/bench_sim.sh [benchtime] [output]
 #   benchtime  go test -benchtime value (default 10x: the sweep is
@@ -27,7 +30,7 @@ OUT="${2:-BENCH_sim.json}"
 PREVFLAGS=""
 if [ -f BENCH_sim.json ]; then
   cp BENCH_sim.json /tmp/bench_prev.json
-  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10,BenchmarkBVDeliver:allocs:1.10"
+  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10,BenchmarkBVDeliver:allocs:1.10,BenchmarkRGG100kRun:1.10,BenchmarkRGG100kRun:allocs:1.10,BenchmarkRGG1MRun:1.15,BenchmarkRGG1MRun:allocs:1.10"
 fi
 
 go build -o /tmp/benchjson ./cmd/benchjson
@@ -40,6 +43,13 @@ run_suite() {
   go test -run '^$' -timeout 1800s \
     -bench 'Benchmark(Sweep45(Sequential|Parallel|DenseRef|Runner|Scenario)|ReactiveSweep|Sweep160Scenario|RGG100kRun)$' \
     -benchmem -benchtime "$BENCHTIME" . > "$RAW"
+  # The million-node run is ~3s/op: fixed at -benchtime 1x so the
+  # large-scale tier stays a few seconds instead of scaling with the
+  # caller's benchtime. The run is deterministic, so one iteration is a
+  # comparable sample.
+  go test -run '^$' -timeout 1800s \
+    -bench 'BenchmarkRGG1MRun$' \
+    -benchmem -benchtime 1x . >> "$RAW"
   # The protocol-layer delivery hot path lives in internal/bv; its
   # allocs/op line joins the same document so the allocation gate can
   # guard it.
