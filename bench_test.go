@@ -1,6 +1,6 @@
 package bftbcast_test
 
-// One benchmark per paper experiment (E1–E11, see DESIGN.md §5 and
+// One benchmark per paper experiment (E1–E12, see DESIGN.md §5 and
 // EXPERIMENTS.md), each running the corresponding reproduction through
 // the exper harness, plus micro-benchmarks of the core primitives and a
 // sequential-vs-parallel benchmark of the experiment harness itself. Run
@@ -86,6 +86,10 @@ func BenchmarkE10Ablations(b *testing.B) { benchExperiment(b, "E10") }
 // BenchmarkE11Topologies runs the topology-generality comparison (torus
 // vs bounded grid vs random geometric graph).
 func BenchmarkE11Topologies(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12MultiBroadcast runs the multi-broadcast batching economics
+// comparison (batched sends vs M sequential single-broadcast runs).
+func BenchmarkE12MultiBroadcast(b *testing.B) { benchExperiment(b, "E12") }
 
 // --- Engine speedup and harness parallelism guardrails ---
 
@@ -342,6 +346,57 @@ func BenchmarkRGG1MRun(b *testing.B) {
 		}
 		if !rep.Completed || rep.WrongDecisions != 0 {
 			b.Fatalf("1M broadcast failed: completed=%v wrong=%d", rep.Completed, rep.WrongDecisions)
+		}
+	}
+}
+
+// BenchmarkMultiBroadcast is the multi-broadcast traffic tier: 32
+// concurrent protocol-B instances (distinct sources, staggered starts)
+// multiplexed over one TDMA slot stream on a 45×45 torus, fault-free so
+// the run is deterministic. One single-broadcast run outside the timer
+// records the naive per-instance cost; every iteration asserts the
+// batched send total stays strictly below 32× that baseline — the
+// message-efficiency claim the traffic mode exists for (DESIGN.md §12).
+func BenchmarkMultiBroadcast(b *testing.B) {
+	tor, err := bftbcast.NewTorus(45, 45, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor), bftbcast.WithParams(params), bftbcast.WithSpec(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	singleRep, err := bftbcast.EngineFast.Run(ctx, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !singleRep.Completed {
+		b.Fatal("single-broadcast baseline did not complete")
+	}
+	const m = 32
+	sc, err := base.With(bftbcast.WithBroadcasts(m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := bftbcast.EngineFast.Run(ctx, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Completed || rep.WrongDecisions != 0 || rep.Multi == nil {
+			b.Fatalf("multi broadcast failed: %+v", rep)
+		}
+		if rep.Multi.BatchedSends >= m*singleRep.GoodMessages {
+			b.Fatalf("no batching win: %d batched sends vs %d×%d single-broadcast sends",
+				rep.Multi.BatchedSends, m, singleRep.GoodMessages)
 		}
 	}
 }

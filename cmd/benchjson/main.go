@@ -172,7 +172,7 @@ func checkGate(gate string, doc, prev *Doc, cpuMatch bool) error {
 	if old == nil {
 		// A benchmark newly added to the suite has no previous value to
 		// gate against; it joins the snapshot now and gates next time.
-		fmt.Fprintf(os.Stderr, "benchjson: gate %s skipped: not in previous snapshot\n", name)
+		fmt.Fprintf(os.Stderr, "benchjson: gate skipped: %s missing from prev\n", name)
 		return nil
 	}
 	switch metric {

@@ -1,4 +1,4 @@
-// Command bftbench runs the experiment suite E1–E11 that regenerates the
+// Command bftbench runs the experiment suite E1–E12 that regenerates the
 // paper's quantitative results and prints the resulting tables, or — with
 // -sweep — a custom protocol-B density sweep through the public
 // Scenario/Engine/Sweep API, streaming each point as it completes.
@@ -33,7 +33,7 @@ func main() {
 }
 
 func run() error {
-	id := flag.String("experiment", "", "run a single experiment (E1..E11); empty = all")
+	id := flag.String("experiment", "", "run a single experiment (E1..E12); empty = all")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	seed := flag.Uint64("seed", 42, "random seed")
 	parallel := flag.Bool("parallel", false, "run experiments and sweep points on a worker pool")

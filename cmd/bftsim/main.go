@@ -20,6 +20,7 @@
 //	bftsim -engine actor -topology grid -w 20 -h 20 -r 2 -t 2 -mf 2
 //	bftsim -engine ref -topology rgg -n 300 -t 1 -mf 2 -adversary random
 //	bftsim -timeout 5s -w 45 -h 45 -r 4 -t 2 -mf 64 -adversary random
+//	bftsim -broadcasts 16 -w 45 -h 45 -r 2 -t 1 -mf 2
 package main
 
 import (
@@ -63,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		policy     = fs.String("policy", "disrupt", "reactive attack policy: disrupt|forge|nackspam|mixed")
 		mmax       = fs.Int("mmax", 64, "loose budget bound known to the reactive protocol")
 		k          = fs.Int("k", 16, "payload bits for the reactive protocol")
+		broadcasts = fs.Int("broadcasts", 0, "concurrent broadcast instances (multi-broadcast traffic; threshold protocols only)")
 		traceFlag  = fs.Bool("trace", false, "emit acceptance events as JSON lines")
 		timeout    = fs.Duration("timeout", 0, "wall-clock deadline for the run (0 = none)")
 		runWorkers = fs.Int("run-workers", 1, "fast engine: shard big slots across this many goroutines (bit-identical output)")
@@ -100,6 +102,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else if set["m"] {
 		return fmt.Errorf("-m only applies to -protocol full (got -protocol reactive)")
 	}
+	if reactive && set["broadcasts"] {
+		return fmt.Errorf("-broadcasts runs the threshold protocol family only (got -protocol reactive)")
+	}
 
 	tp, err := bftbcast.NewTopology(bftbcast.TopologySpec{
 		Kind: *topology, W: *w, H: *h, R: *r, Nodes: *n, Seed: *seed,
@@ -121,6 +126,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// negatives with an actionable error instead of the CLI silently
 		// running sequentially.
 		opts = append(opts, bftbcast.WithRunWorkers(*runWorkers))
+	}
+	if set["broadcasts"] {
+		opts = append(opts, bftbcast.WithBroadcasts(*broadcasts))
 	}
 
 	if reactive {
@@ -189,6 +197,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "decided=%d/%d wrongDecisions=%d\n", rep.DecidedGood, rep.TotalGood, rep.WrongDecisions)
 	fmt.Fprintf(stdout, "goodMessages=%d badMessages=%d avgSends=%.2f maxSends=%d\n",
 		rep.GoodMessages, rep.BadMessages, rep.AvgGoodSends, rep.MaxGoodSends)
+	if mr := rep.Multi; mr != nil {
+		done := 0
+		for _, in := range mr.Instances {
+			if in.Completed {
+				done++
+			}
+		}
+		fmt.Fprintf(stdout, "multi: broadcasts=%d completed=%d/%d batchedSends=%d naiveSends=%d entries=%d decisions/slot=%.3f\n",
+			mr.M, done, mr.M, mr.BatchedSends, mr.NaiveSends, mr.EntriesCarried, mr.DecisionsPerSlot)
+	}
 	if rr := rep.Reactive; rr != nil {
 		fmt.Fprintf(stdout, "reactive: rounds=%d forged=%d L=%d K=%d maxMsgs/node=%d (bound %d) maxSubSlots=%d (Theorem4 %d)\n",
 			rr.MessageRounds, rr.ForgedDeliveries, rr.SubBitLength, rr.CodewordBits,

@@ -104,6 +104,8 @@ func TestInvalidCombinations(t *testing.T) {
 		{"jamming adversary with reactive", []string{"-protocol", "reactive", "-adversary", "sandwich"}, "use -adversary none or random"},
 		{"actor with adversary", []string{"-engine", "actor", "-adversary", "random"}, "fault-free"},
 		{"strategy adversary on actor via reactive", []string{"-engine", "actor", "-protocol", "reactive", "-adversary", "random"}, "fault-free"},
+		{"broadcasts with reactive", []string{"-protocol", "reactive", "-broadcasts", "4"}, "-broadcasts runs the threshold protocol family"},
+		{"negative broadcasts", []string{"-broadcasts", "-3"}, "Broadcasts"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -113,6 +115,40 @@ func TestInvalidCombinations(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestBroadcastsFlag runs the multi-broadcast traffic mode through the
+// CLI on every engine and checks the multi summary line appears with a
+// strict batching win.
+func TestBroadcastsFlag(t *testing.T) {
+	for _, eng := range []string{"fast", "ref", "actor"} {
+		t.Run(eng, func(t *testing.T) {
+			args := append([]string{"-engine", eng, "-broadcasts", "8"}, small...)
+			out, _, err := runCLI(t, args...)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !strings.Contains(out, "completed=true") {
+				t.Fatalf("%s multi run did not complete:\n%s", eng, out)
+			}
+			if !strings.Contains(out, "multi: broadcasts=8 completed=8/8") {
+				t.Fatalf("multi summary line missing or incomplete:\n%s", out)
+			}
+		})
+	}
+	t.Run("broadcasts-1-matches-single", func(t *testing.T) {
+		single, _, err := runCLI(t, small...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, _, err := runCLI(t, append([]string{"-broadcasts", "1"}, small...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != multi {
+			t.Fatalf("-broadcasts 1 changed the output:\nsingle:\n%s\nmulti:\n%s", single, multi)
+		}
+	})
 }
 
 // TestTraceFlag smoke-tests the JSONL tracer through the CLI seam.

@@ -71,9 +71,24 @@ func NewEngine(name string) (Engine, error) {
 }
 
 // scenarioMachine resolves the Scenario's protocol selection: nil for
-// the default threshold protocol (the engines execute Spec through their
-// built-in instance), or a freshly built reactive machine.
-func scenarioMachine(sc *Scenario) (*protocol.Reactive, error) {
+// the default single-broadcast threshold protocol (the engines execute
+// Spec through their built-in instance), or a freshly built machine —
+// reactive, or the multi-broadcast multiplexer for Broadcasts >= 2.
+// Machines are single-run-in-flight, so every Run builds its own.
+func scenarioMachine(sc *Scenario) (protocol.Machine, error) {
+	if sc.Broadcasts > 1 {
+		// validate() already rejected the reactive combination.
+		m := &protocol.Multi{Spec: sc.Spec, M: sc.Broadcasts}
+		if io, ok := sc.Observer.(InstanceObserver); ok {
+			m.OnInstanceDeliver = func(slot, instance int, from, to grid.NodeID, v radio.Value) {
+				io.DeliverInstance(slot, instance, from, to, v)
+			}
+			m.OnInstanceDecide = func(slot, instance int, id grid.NodeID, v radio.Value) {
+				io.DecideInstance(slot, instance, id, v)
+			}
+		}
+		return m, nil
+	}
 	if sc.Protocol != ProtocolReactive {
 		return nil, nil
 	}
@@ -105,16 +120,19 @@ func scenarioMachine(sc *Scenario) (*protocol.Reactive, error) {
 // (a no-op for the default threshold protocol). Every engine funnels its
 // report through here so a protocol's Report extension cannot be dropped
 // by one backend.
-func finishReport(rep *Report, machine *protocol.Reactive) *Report {
-	if machine != nil {
-		attachReactive(rep, machine.TakeStats())
+func finishReport(rep *Report, machine protocol.Machine) *Report {
+	switch m := machine.(type) {
+	case *protocol.Reactive:
+		attachReactive(rep, m.TakeStats())
+	case *protocol.Multi:
+		attachMulti(rep, m.TakeStats())
 	}
 	return rep
 }
 
 // loweredConfig resolves the Scenario's protocol machine and lowers the
 // Scenario to the slot-level engines' config in one step.
-func loweredConfig(sc *Scenario) (sim.Config, *protocol.Reactive, error) {
+func loweredConfig(sc *Scenario) (sim.Config, protocol.Machine, error) {
 	machine, err := scenarioMachine(sc)
 	if err != nil {
 		return sim.Config{}, nil, err

@@ -1,7 +1,8 @@
-// Package exper defines the experiment suite E1–E11 that regenerates the
+// Package exper defines the experiment suite E1–E12 that regenerates the
 // quantitative content of every theorem, corollary and figure of the
-// paper, plus the topology-generality comparison E11 (see DESIGN.md §5
-// for the index and EXPERIMENTS.md for the paper-vs-measured record).
+// paper, plus the topology-generality comparison E11 and the
+// multi-broadcast batching economics E12 (see DESIGN.md §5 for the index
+// and EXPERIMENTS.md for the paper-vs-measured record).
 // Each experiment produces human-readable tables and a machine-checkable
 // pass/fail verdict on the paper's claim shape, so the suite doubles as
 // an integration test and as the benchmark harness behind bench_test.go

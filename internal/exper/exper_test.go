@@ -12,10 +12,10 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("registry has %d experiments, want 11", len(all))
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
 	}
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 	for i, id := range want {
 		if all[i].ID != id {
 			t.Fatalf("All()[%d] = %s, want %s", i, all[i].ID, id)

@@ -112,6 +112,10 @@ func For(t topo.Topology) *Plan {
 			cache.order = append(cache.order, t)
 			if len(cache.order) > maxCached {
 				delete(cache.m, cache.order[0])
+				// Clear the slot before advancing: reslicing alone keeps
+				// the evicted topology reachable through the backing
+				// array, pinning exactly the memory the cap releases.
+				cache.order[0] = nil
 				cache.order = cache.order[1:]
 			}
 		}

@@ -1,9 +1,11 @@
 package plan
 
 import (
+	"runtime"
 	"slices"
 	"sync"
 	"testing"
+	"time"
 
 	"bftbcast/internal/grid"
 	"bftbcast/internal/sched"
@@ -172,6 +174,60 @@ func TestPlanCacheEviction(t *testing.T) {
 		t.Fatal("recent entry not served by identity")
 	}
 	Purge()
+}
+
+// TestPlanCacheEvictionReleases regresses the eviction leak: advancing
+// the order slice without clearing the evicted slot kept the oldest
+// topology reachable through the slice's backing array until a realloc,
+// pinning exactly the memory the maxCached cap exists to release. The
+// evicted topology must become collectable immediately, and after heavy
+// churn the cache map and order slice must agree on length and contents.
+func TestPlanCacheEvictionReleases(t *testing.T) {
+	Purge()
+	defer Purge()
+
+	freed := make(chan struct{})
+	func() {
+		first := grid.MustNew(5, 5, 2)
+		runtime.SetFinalizer(first, func(*grid.Torus) { close(freed) })
+		For(first)
+	}()
+	// maxCached further inserts push the first topology out. No more
+	// appends after this point: the finalizer check must observe the
+	// cleared slot itself, not a later backing-array reallocation.
+	for i := 0; i < maxCached; i++ {
+		For(grid.MustNew(5, 5, 2))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-freed:
+		case <-time.After(10 * time.Millisecond):
+			if time.Now().Before(deadline) {
+				continue
+			}
+			t.Fatal("evicted topology still reachable after GC: the order backing array pins it")
+		}
+		break
+	}
+
+	// Keep churning past another full turnover, then check map/order
+	// agreement under the lock.
+	for i := 0; i < maxCached/2; i++ {
+		For(grid.MustNew(5, 5, 2))
+	}
+	cache.RLock()
+	defer cache.RUnlock()
+	if len(cache.m) != maxCached || len(cache.order) != maxCached {
+		t.Fatalf("cache holds %d map entries and %d order entries, want %d of each",
+			len(cache.m), len(cache.order), maxCached)
+	}
+	for i, tp := range cache.order {
+		if tp == nil || cache.m[tp] == nil {
+			t.Fatalf("order[%d] = %v not backed by a map entry", i, tp)
+		}
+	}
 }
 
 // TestPlanColoringError checks that a topology without a valid coloring

@@ -35,6 +35,27 @@ type Observer interface {
 	Decide(slot int, id NodeID, v Value)
 }
 
+// InstanceObserver is an optional Observer refinement for
+// multi-broadcast runs (Scenario.Broadcasts >= 2): when the Scenario's
+// Observer also implements it, the engines additionally stream
+// instance-tagged protocol events. DeliverInstance fires for every
+// protocol-level entry applied at a good receiver — the per-instance
+// entries a batched transmission carried, or a forged copy counted in
+// every started instance — right after the raw Deliver event;
+// DecideInstance fires for every per-instance acceptance alongside the
+// aggregate Decide event (which, for multi-broadcast runs, reports
+// per-instance acceptances too). Single-broadcast runs never fire
+// either event.
+type InstanceObserver interface {
+	Observer
+	// DeliverInstance fires for each instance entry applied at a good
+	// receiver.
+	DeliverInstance(slot, instance int, from, to NodeID, v Value)
+	// DecideInstance fires when a node accepts a value in one instance.
+	// Pre-decided instance sources produce no event.
+	DecideInstance(slot, instance int, id NodeID, v Value)
+}
+
 // BaseObserver is a no-op Observer, meant for embedding.
 type BaseObserver struct{}
 

@@ -42,10 +42,47 @@ type Report struct {
 	MaxGoodSends int
 
 	// Backend extensions: exactly one is non-nil. Reactive-protocol runs
-	// carry the Reactive extension whichever engine executed them.
-	Sim      *SimResult      // "fast" and "ref", threshold protocols
-	Actor    *ActorResult    // "actor", threshold protocols
+	// carry the Reactive extension and multi-broadcast runs the Multi
+	// extension, whichever engine executed them.
+	Sim      *SimResult      // "fast" and "ref", single-broadcast threshold protocols
+	Actor    *ActorResult    // "actor", single-broadcast threshold protocols
 	Reactive *ReactiveResult // ProtocolReactive runs (any engine)
+	Multi    *MultiResult    // multi-broadcast runs, Broadcasts >= 2 (any engine)
+}
+
+// MultiInstance is one broadcast instance's outcome inside a
+// multi-broadcast run (see MultiResult.Instances).
+type MultiInstance = protocol.MultiInstanceStats
+
+// MultiResult is the Report extension of a multi-broadcast run
+// (Scenario.Broadcasts >= 2): the per-instance outcome distribution and
+// the batching economics. The Report's core fields aggregate across
+// instances — Decided marks nodes decided in every instance,
+// WrongDecisions counts (node, instance) wrong acceptances, and
+// GoodMessages counts physical (batched) transmissions.
+type MultiResult struct {
+	// M is the number of concurrent broadcast instances.
+	M int
+	// Instances holds the per-instance outcomes, indexed by instance
+	// (instance 0 is the scenario source's broadcast).
+	Instances []MultiInstance
+	// BatchedSends is the number of physical good-node transmissions the
+	// protocol scheduled; one transmission carries an entry for every
+	// instance its sender still owes a relay.
+	BatchedSends int
+	// NaiveSends is what M independent single-instance runs would have
+	// scheduled (sum of per-acceptance send counts plus source repeats);
+	// BatchedSends < NaiveSends is the multiplexing win.
+	NaiveSends int
+	// EntriesCarried is the total protocol entries carried by observed
+	// transmissions.
+	EntriesCarried int
+	// Decisions counts good-node acceptances across all instances
+	// (pre-decided sources excluded).
+	Decisions int
+	// DecisionsPerSlot is the run's aggregate decision throughput,
+	// Decisions / Slots.
+	DecisionsPerSlot float64
 }
 
 // reportFromSim wraps a slot-level engine result. The per-node slices
@@ -132,6 +169,29 @@ func attachReactive(rep *Report, rs *protocol.ReactiveStats) {
 		DecidedValue:     rep.DecidedValue,
 		Bad:              rs.Bad,
 	}
+}
+
+// attachMulti decorates an engine report with the multi-broadcast
+// machine's run record (replacing the backend's own extension, so
+// exactly one stays non-nil). Core fields stay engine-native: Slots is
+// TDMA slot time, GoodMessages counts physical batched transmissions.
+func attachMulti(rep *Report, ms *protocol.MultiStats) {
+	if ms == nil {
+		return
+	}
+	rep.Sim, rep.Actor = nil, nil
+	res := &MultiResult{
+		M:              ms.M,
+		Instances:      ms.Instances,
+		BatchedSends:   ms.BatchedSends,
+		NaiveSends:     ms.NaiveSends,
+		EntriesCarried: ms.EntriesCarried,
+		Decisions:      ms.Decisions,
+	}
+	if rep.Slots > 0 {
+		res.DecisionsPerSlot = float64(ms.Decisions) / float64(rep.Slots)
+	}
+	rep.Multi = res
 }
 
 // sendStats computes the mean and max sends over good non-source nodes.

@@ -54,6 +54,15 @@ type Scenario struct {
 	// engine's threshold protocol path parallelizes — the reactive
 	// protocol and the other engines ignore it.
 	RunWorkers int
+	// Broadcasts is the number of concurrent broadcast instances
+	// (multi-broadcast traffic mode, DESIGN.md §12): M distinct sources
+	// — the Scenario's Source plus M-1 good nodes drawn
+	// deterministically from the seed — run the threshold protocol
+	// concurrently over one TDMA slot stream, with staggered starts and
+	// per-transmission batching. 0 and 1 both mean the classic
+	// single-broadcast run; >= 2 requires the threshold protocol family
+	// and populates the Report.Multi extension.
+	Broadcasts int
 	// Reactive tunes the reactive backend; its zero value picks the
 	// documented defaults.
 	Reactive ReactiveSpec
@@ -170,6 +179,17 @@ func (sc *Scenario) validate() error {
 		return fmt.Errorf("bftbcast: unknown protocol %q (want %q or %q)",
 			sc.Protocol, ProtocolThreshold, ProtocolReactive)
 	}
+	if sc.Broadcasts < 0 {
+		return fmt.Errorf("bftbcast: scenario Broadcasts %d must be >= 0", sc.Broadcasts)
+	}
+	if sc.Broadcasts > 1 {
+		if sc.Protocol == ProtocolReactive {
+			return errors.New("bftbcast: multi-broadcast traffic (WithBroadcasts >= 2) runs the threshold protocol family; the reactive protocol is single-broadcast")
+		}
+		if sc.Broadcasts > sc.Topo.Size() {
+			return fmt.Errorf("bftbcast: scenario Broadcasts %d exceeds the topology's %d nodes", sc.Broadcasts, sc.Topo.Size())
+		}
+	}
 	return nil
 }
 
@@ -228,6 +248,14 @@ func WithMaxSlots(n int) ScenarioOption {
 // for every n; 0 or 1 runs sequentially.
 func WithRunWorkers(n int) ScenarioOption {
 	return func(sc *Scenario) { sc.RunWorkers = n }
+}
+
+// WithBroadcasts sets the number of concurrent broadcast instances (see
+// Scenario.Broadcasts). 0 and 1 run the classic single broadcast; m >= 2
+// multiplexes m instances with distinct seed-drawn sources over one TDMA
+// slot stream.
+func WithBroadcasts(m int) ScenarioOption {
+	return func(sc *Scenario) { sc.Broadcasts = m }
 }
 
 // WithReactive tunes the reactive backend.

@@ -1,18 +1,20 @@
 #!/usr/bin/env sh
 # bench_sim.sh — run the engine sweep benchmarks (sparse fast path vs the
 # dense sim/ref baseline, the harness parallel variant, the re-platformed
-# reactive-protocol sweep, the protocol-layer BVDeliver hot path, and the
-# large-scale tier: the 160×160 torus sweep, the 100k-node RGG
-# single-run, and the million-node RGG single-run) and emit
-# BENCH_sim.json, the machine-readable record the CI bench job uploads
-# and the repo checks in as the perf trajectory across PRs.
+# reactive-protocol sweep, the multi-broadcast traffic tier, the
+# protocol-layer BVDeliver hot path, and the large-scale tier: the
+# 160×160 torus sweep, the 100k-node RGG single-run, and the
+# million-node RGG single-run) and emit BENCH_sim.json, the
+# machine-readable record the CI bench job uploads and the repo checks in
+# as the perf trajectory across PRs.
 #
 # When the checked-in BENCH_sim.json exists, per-benchmark *_vs_prev
 # speedups are recorded against it and the run FAILS (the CI gates) if:
-#   - BenchmarkSweep45Scenario, BenchmarkRGG100kRun or BenchmarkRGG1MRun
-#     regressed by more than 10%/10%/15% in ns/op, or
-#   - BenchmarkBVDeliver, BenchmarkRGG100kRun or BenchmarkRGG1MRun
-#     regressed by more than 10% in allocs/op.
+#   - BenchmarkSweep45Scenario, BenchmarkRGG100kRun or
+#     BenchmarkMultiBroadcast regressed by more than 10%, or
+#     BenchmarkRGG1MRun by more than 15%, in ns/op, or
+#   - BenchmarkBVDeliver, BenchmarkRGG100kRun, BenchmarkRGG1MRun or
+#     BenchmarkMultiBroadcast regressed by more than 10% in allocs/op.
 # Allocation gates are machine-independent; they guard the protocol
 # layer's zero-alloc delivery contract and the large-scale fast path's
 # steady-state reuse (PR 6 took RGG100kRun from ~200k allocs/op to ~130).
@@ -30,7 +32,7 @@ OUT="${2:-BENCH_sim.json}"
 PREVFLAGS=""
 if [ -f BENCH_sim.json ]; then
   cp BENCH_sim.json /tmp/bench_prev.json
-  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10,BenchmarkBVDeliver:allocs:1.10,BenchmarkRGG100kRun:1.10,BenchmarkRGG100kRun:allocs:1.10,BenchmarkRGG1MRun:1.15,BenchmarkRGG1MRun:allocs:1.10"
+  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10,BenchmarkBVDeliver:allocs:1.10,BenchmarkRGG100kRun:1.10,BenchmarkRGG100kRun:allocs:1.10,BenchmarkRGG1MRun:1.15,BenchmarkRGG1MRun:allocs:1.10,BenchmarkMultiBroadcast:1.10,BenchmarkMultiBroadcast:allocs:1.10"
 fi
 
 go build -o /tmp/benchjson ./cmd/benchjson
@@ -41,7 +43,7 @@ go build -o /tmp/benchjson ./cmd/benchjson
 RAW=/tmp/bench_raw.txt
 run_suite() {
   go test -run '^$' -timeout 1800s \
-    -bench 'Benchmark(Sweep45(Sequential|Parallel|DenseRef|Runner|Scenario)|ReactiveSweep|Sweep160Scenario|RGG100kRun)$' \
+    -bench 'Benchmark(Sweep45(Sequential|Parallel|DenseRef|Runner|Scenario)|ReactiveSweep|Sweep160Scenario|RGG100kRun|MultiBroadcast)$' \
     -benchmem -benchtime "$BENCHTIME" . > "$RAW"
   # The million-node run is ~3s/op: fixed at -benchtime 1x so the
   # large-scale tier stays a few seconds instead of scaling with the

@@ -69,6 +69,15 @@ func (s *Sweep) Stream(ctx context.Context) <-chan SweepPoint {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	if len(s.Scenarios) < workers {
+		// Pinned engines are warmed per worker; never build more of them
+		// than there are points to run (min 1 keeps the pool well-formed
+		// for an empty sweep).
+		workers = len(s.Scenarios)
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	perWorker := make([]Engine, workers)
 	for w := range perWorker {
 		if p, ok := eng.(workerPinned); ok {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"bftbcast"
 )
@@ -179,6 +181,96 @@ func TestSweepRun(t *testing.T) {
 	if len(pts) != 3 {
 		t.Fatalf("got %d points with error, want all 3", len(pts))
 	}
+}
+
+// TestSweepWorkerCounts pins the worker-count seam: Workers of 0 (auto),
+// 1 (sequential) and more than len(Scenarios) — which must clamp to the
+// scenario count instead of building pinned engines that never run a
+// point — all yield identical reports, and an empty sweep closes cleanly
+// for any Workers value.
+func TestSweepWorkerCounts(t *testing.T) {
+	const n = 3
+	var baseline []bftbcast.SweepPoint
+	for _, workers := range []int{0, 1, n + 9} {
+		pts, err := (&bftbcast.Sweep{Workers: workers, Scenarios: sweepScenarios(t, n)}).Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(pts) != n {
+			t.Fatalf("workers=%d: got %d points, want %d", workers, len(pts), n)
+		}
+		if baseline == nil {
+			baseline = pts
+			continue
+		}
+		for i := range pts {
+			if !reflect.DeepEqual(baseline[i].Report, pts[i].Report) {
+				t.Fatalf("point %d differs at workers=%d", i, workers)
+			}
+		}
+	}
+	for _, workers := range []int{0, 1, 4} {
+		for range (&bftbcast.Sweep{Workers: workers}).Stream(context.Background()) {
+			t.Fatalf("empty sweep yielded a point at workers=%d", workers)
+		}
+	}
+}
+
+// waitNoGoroutineGrowth polls until the goroutine count returns to (near)
+// its baseline, mirroring the actor-cancellation leak check: the runtime
+// gets a few scheduling rounds to retire finished goroutines before the
+// test declares a leak.
+func waitNoGoroutineGrowth(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after — sweep goroutines leaked", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSweepStreamAbandonNoLeak drops the stream channel mid-sweep. The
+// doc comment promises abandoning the channel leaks nothing: it is
+// buffered for the whole sweep, so the producer finishes its points and
+// exits with no consumer.
+func TestSweepStreamAbandonNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		sweep := bftbcast.Sweep{Workers: 2, Scenarios: sweepScenarios(t, 6)}
+		ch := sweep.Stream(context.Background())
+		<-ch // consume one point, then abandon the channel mid-sweep
+	}()
+	waitNoGoroutineGrowth(t, before)
+}
+
+// TestSweepStreamCancelNoLeak cancels the context from inside a running
+// point and then abandons the channel: the workers must drain the
+// remaining points fail-fast and the producer must still close down.
+func TestSweepStreamCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	func() {
+		scenarios := sweepScenarios(t, 8)
+		var err error
+		scenarios[2], err = scenarios[2].With(bftbcast.WithObserver(
+			bftbcast.FuncObserver{OnSlotStart: func(int) { cancel() }},
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep := bftbcast.Sweep{Workers: 2, Scenarios: scenarios}
+		ch := sweep.Stream(ctx)
+		<-ch // one point, then walk away from a cancelled sweep
+	}()
+	waitNoGoroutineGrowth(t, before)
 }
 
 // TestSweepCancellation cancels mid-sweep — deterministically, from an
