@@ -1,0 +1,267 @@
+// Command bftsimd is the long-running sweep service: an HTTP daemon
+// that accepts JSON scenario-grid jobs, runs them FIFO on the shared
+// engine stack with bounded in-flight work, checkpoints progress so a
+// killed daemon resumes without recomputing completed points, and
+// streams per-point results as NDJSON while a constant-memory
+// aggregate summarizes jobs of any size.
+//
+// API (all under -addr):
+//
+//	POST /v1/jobs                submit a grid document (see GridSpec);
+//	                             202 + job status, 400 on a bad spec,
+//	                             503 when the queue is full or draining
+//	GET  /v1/jobs                list all known jobs, submission order
+//	GET  /v1/jobs/{id}           one job's status + aggregate summary
+//	GET  /v1/jobs/{id}/results   NDJSON live tail: one line per point,
+//	                             then a final {"summary": ...} line
+//	POST /v1/jobs/{id}/cancel    cancel a queued or running job
+//	GET  /healthz                liveness
+//
+// SIGTERM/SIGINT drain gracefully: running jobs are checkpointed and
+// parked, queued jobs stay queued, and a daemon restarted on the same
+// -dir picks all of them up where they stopped.
+//
+// Example:
+//
+//	bftsimd -addr 127.0.0.1:8580 -dir /var/tmp/bftsimd &
+//	curl -s -X POST --data-binary @grid.json localhost:8580/v1/jobs
+//	curl -sN localhost:8580/v1/jobs/<id>/results
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bftbcast"
+	"bftbcast/internal/jobs"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "bftsimd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole daemon behind a testable seam: it serves until ctx
+// fires or a termination signal arrives, then drains and returns. The
+// listen address (with the resolved port) is announced on stdout.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bftsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8580", "listen address (port 0 picks a free port)")
+		dir        = fs.String("dir", "bftsimd-jobs", "checkpoint directory; reopening resumes its jobs")
+		engineName = fs.String("engine", "fast", "execution backend: fast | ref | actor")
+		workers    = fs.Int("workers", 0, "sweep worker pool (0 = NumCPU)")
+		queue      = fs.Int("queue", 64, "queued-job capacity; beyond it submissions get 503")
+		inflight   = fs.Int("inflight", 1, "jobs running concurrently")
+		ckptEvery  = fs.Int("checkpoint-every", 64, "checkpoint cadence in completed points")
+		drainAfter = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := bftbcast.NewEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	mgr, err := jobs.Open(jobs.Config{
+		Dir:             *dir,
+		Engine:          eng,
+		Workers:         *workers,
+		MaxQueue:        *queue,
+		MaxRunning:      *inflight,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		drain(mgr, *drainAfter)
+		return err
+	}
+	srv := &http.Server{Handler: newHandler(mgr)}
+	fmt.Fprintf(stdout, "bftsimd listening on %s (checkpoints in %s)\n", ln.Addr(), *dir)
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		drain(mgr, *drainAfter)
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "bftsimd draining\n")
+	// Park the jobs first: that closes every live result stream, so the
+	// streaming handlers return and Shutdown's handler-wait terminates.
+	derr := drain(mgr, *drainAfter)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainAfter)
+	defer cancel()
+	serr := srv.Shutdown(shutCtx)
+	if derr != nil {
+		return fmt.Errorf("drain: %w", derr)
+	}
+	return serr
+}
+
+func drain(mgr *jobs.Manager, budget time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	return mgr.Close(ctx)
+}
+
+// server exposes one Manager over HTTP.
+type server struct {
+	mgr *jobs.Manager
+}
+
+// newHandler routes the daemon's API onto a manager.
+func newHandler(mgr *jobs.Manager) http.Handler {
+	s := &server{mgr: mgr}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	return mux
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// submit validates and enqueues a grid document. Validation failures
+// are the client's fault (400, typed through bftbcast.ErrBadSpec);
+// a full queue and a draining daemon are backpressure (503).
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	grid, err := bftbcast.DecodeGridSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.mgr.Submit(grid)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		// Submit re-validates; anything else is the daemon's problem.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	all := s.mgr.Jobs()
+	out := make([]jobs.Status, 0, len(all))
+	for _, job := range all {
+		out = append(out, job.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	job, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	job, err := s.mgr.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// resultsSummary is the final NDJSON line of a results stream.
+type resultsSummary struct {
+	Summary jobs.Status `json:"summary"`
+	// Dropped counts records this tail shed under pressure (the stream
+	// is a lossy live tail; the summary's aggregate is always exact).
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// results streams a job's points as NDJSON while it runs and finishes
+// with one summary line. For an already-terminal job the summary line
+// comes immediately. A tail that cannot keep up loses records (never
+// stalling the job) and reports how many in the summary.
+func (s *server) results(w http.ResponseWriter, r *http.Request) {
+	job, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	sub := job.Subscribe(256)
+	defer sub.Close()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case rec, ok := <-sub.Points():
+			if !ok {
+				// Stream over: terminal job, or the daemon is draining.
+				_ = enc.Encode(resultsSummary{Summary: job.Status(), Dropped: sub.Dropped()})
+				return
+			}
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,147 @@
+package jobs
+
+import (
+	"bftbcast"
+	"bftbcast/internal/stats"
+)
+
+// Aggregate is the constant-memory running summary of a job's completed
+// points: scalar tallies, mergeable moment summaries for the per-point
+// metrics, and a fixed-size quantile sketch for slots-to-decide. Its
+// size is bounded by the sketch geometry (a few KB) no matter how many
+// points it absorbs — a million-point job's checkpoint stays small.
+//
+// Done doubles as the resume offset: points are folded in strictly in
+// sweep-point order, so an Aggregate restored from a checkpoint with
+// Done == k is byte-for-byte the state an uninterrupted run had after
+// point k-1, and resuming at point k reproduces the uninterrupted
+// run's final aggregate exactly (every point is deterministic given
+// its Scenario, and float accumulation order is preserved).
+//
+// Construct with NewAggregate or decode from a checkpoint; the zero
+// value lacks its sketch.
+type Aggregate struct {
+	// Done counts the points folded in — the job's resume offset.
+	Done int64 `json:"done"`
+
+	Completed int64 `json:"completed"`
+	Stalled   int64 `json:"stalled"`
+	TimedOut  int64 `json:"timed_out"`
+
+	WrongDecisions int64 `json:"wrong_decisions"`
+	DecidedGood    int64 `json:"decided_good"`
+	TotalGood      int64 `json:"total_good"`
+
+	Slots        stats.Moments `json:"slots"`
+	GoodMessages stats.Moments `json:"good_messages"`
+	BadMessages  stats.Moments `json:"bad_messages"`
+	AvgSends     stats.Moments `json:"avg_sends"`
+
+	// SlotsToDecide sketches the slot counts of completed points only —
+	// the broadcast-latency distribution of the runs that decided.
+	SlotsToDecide *stats.QSketch `json:"slots_to_decide"`
+}
+
+// NewAggregate returns an empty aggregate ready for Add.
+func NewAggregate() *Aggregate {
+	return &Aggregate{SlotsToDecide: stats.NewQSketch()}
+}
+
+// Add folds one point's report into the aggregate.
+func (a *Aggregate) Add(rep *bftbcast.Report) {
+	a.Done++
+	if rep.Completed {
+		a.Completed++
+		a.SlotsToDecide.Add(float64(rep.Slots))
+	}
+	if rep.Stalled {
+		a.Stalled++
+	}
+	if rep.TimedOut {
+		a.TimedOut++
+	}
+	a.WrongDecisions += int64(rep.WrongDecisions)
+	a.DecidedGood += int64(rep.DecidedGood)
+	a.TotalGood += int64(rep.TotalGood)
+	a.Slots.Add(float64(rep.Slots))
+	a.GoodMessages.Add(float64(rep.GoodMessages))
+	a.BadMessages.Add(float64(rep.BadMessages))
+	a.AvgSends.Add(rep.AvgGoodSends)
+}
+
+// Merge folds another aggregate into the receiver; o is unchanged.
+// Counts and the sketch merge exactly; the moment summaries merge up
+// to float rounding. Merging shard aggregates is how a partitioned
+// job would combine its workers' summaries without retaining points.
+func (a *Aggregate) Merge(o *Aggregate) {
+	a.Done += o.Done
+	a.Completed += o.Completed
+	a.Stalled += o.Stalled
+	a.TimedOut += o.TimedOut
+	a.WrongDecisions += o.WrongDecisions
+	a.DecidedGood += o.DecidedGood
+	a.TotalGood += o.TotalGood
+	a.Slots.Merge(o.Slots)
+	a.GoodMessages.Merge(o.GoodMessages)
+	a.BadMessages.Merge(o.BadMessages)
+	a.AvgSends.Merge(o.AvgSends)
+	a.SlotsToDecide.Merge(o.SlotsToDecide)
+}
+
+// Summary is the JSON-friendly digest of an Aggregate a status endpoint
+// reports: the tallies plus derived statistics (quantiles are computed
+// at snapshot time, never stored, so the checkpoint stays pure state).
+type Summary struct {
+	Done      int64 `json:"done"`
+	Completed int64 `json:"completed"`
+	Stalled   int64 `json:"stalled"`
+	TimedOut  int64 `json:"timed_out"`
+
+	WrongDecisions int64 `json:"wrong_decisions"`
+	DecidedGood    int64 `json:"decided_good"`
+	TotalGood      int64 `json:"total_good"`
+
+	SlotsMean   float64 `json:"slots_mean"`
+	SlotsStdDev float64 `json:"slots_stddev"`
+	SlotsMin    float64 `json:"slots_min"`
+	SlotsMax    float64 `json:"slots_max"`
+
+	// Slots-to-decide quantiles over completed points (0 when none
+	// completed yet).
+	SlotsToDecideP50 float64 `json:"slots_to_decide_p50"`
+	SlotsToDecideP95 float64 `json:"slots_to_decide_p95"`
+	SlotsToDecideP99 float64 `json:"slots_to_decide_p99"`
+
+	GoodMessagesMean float64 `json:"good_messages_mean"`
+	BadMessagesMean  float64 `json:"bad_messages_mean"`
+	AvgSendsMean     float64 `json:"avg_sends_mean"`
+}
+
+// Summary digests the aggregate. Quantiles are 0 while no point has
+// completed (a NaN would not marshal).
+func (a *Aggregate) Summary() Summary {
+	s := Summary{
+		Done:           a.Done,
+		Completed:      a.Completed,
+		Stalled:        a.Stalled,
+		TimedOut:       a.TimedOut,
+		WrongDecisions: a.WrongDecisions,
+		DecidedGood:    a.DecidedGood,
+		TotalGood:      a.TotalGood,
+
+		SlotsMean:   a.Slots.Mean,
+		SlotsStdDev: a.Slots.StdDev(),
+		SlotsMin:    a.Slots.Min,
+		SlotsMax:    a.Slots.Max,
+
+		GoodMessagesMean: a.GoodMessages.Mean,
+		BadMessagesMean:  a.BadMessages.Mean,
+		AvgSendsMean:     a.AvgSends.Mean,
+	}
+	if a.SlotsToDecide != nil && a.SlotsToDecide.Count() > 0 {
+		s.SlotsToDecideP50 = a.SlotsToDecide.Quantile(0.50)
+		s.SlotsToDecideP95 = a.SlotsToDecide.Quantile(0.95)
+		s.SlotsToDecideP99 = a.SlotsToDecide.Quantile(0.99)
+	}
+	return s
+}

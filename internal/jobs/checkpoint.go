@@ -1,0 +1,92 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkpoint is the on-disk record of one job: identity, lifecycle
+// state, the verbatim grid document (so a restarted daemon re-expands
+// the exact same point list), and the constant-size aggregate whose
+// Done field is the resume offset. One JSON file per job, replaced
+// atomically, so a crash between writes leaves the previous complete
+// record, never a torn one.
+type checkpoint struct {
+	ID        string          `json:"id"`
+	Seq       uint64          `json:"seq"`
+	State     State           `json:"state"`
+	Total     int             `json:"total"`
+	Spec      json.RawMessage `json:"spec"`
+	Err       string          `json:"err,omitempty"`
+	Aggregate *Aggregate      `json:"aggregate"`
+}
+
+func checkpointPath(dir, id string) string {
+	return filepath.Join(dir, id+".json")
+}
+
+// writeCheckpointBytes atomically replaces the job's checkpoint file
+// with the already-marshalled record: write-to-temp, fsync, rename —
+// the rename is the commit point, so a crash mid-write leaves the
+// previous complete checkpoint in place.
+func writeCheckpointBytes(dir, id string, data []byte) error {
+	path := checkpointPath(dir, id)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: checkpoint %s: %w", id, err)
+	}
+	_, werr := f.Write(append(data, '\n'))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: checkpoint %s: %w", id, werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: checkpoint %s: %w", id, err)
+	}
+	return nil
+}
+
+// readCheckpoints loads every job checkpoint in dir, sorted by Seq —
+// the submission order a restarted manager re-enqueues in. Stray .tmp
+// files (a crash mid-write) are ignored; an undecodable checkpoint is
+// an error, not a silent skip, because dropping a job's record would
+// silently lose submitted work.
+func readCheckpoints(dir string) ([]*checkpoint, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: scan %s: %w", dir, err)
+	}
+	var cps []*checkpoint
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("jobs: read checkpoint %s: %w", name, err)
+		}
+		cp := &checkpoint{}
+		if err := json.Unmarshal(data, cp); err != nil {
+			return nil, fmt.Errorf("jobs: decode checkpoint %s: %w", name, err)
+		}
+		if cp.Aggregate == nil {
+			cp.Aggregate = NewAggregate()
+		}
+		cps = append(cps, cp)
+	}
+	sort.Slice(cps, func(i, j int) bool { return cps[i].Seq < cps[j].Seq })
+	return cps, nil
+}

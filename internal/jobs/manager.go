@@ -1,0 +1,502 @@
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"bftbcast"
+)
+
+var (
+	// ErrQueueFull is Submit's backpressure signal: the pending queue is
+	// at capacity and the client should retry later (HTTP 503).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed rejects submissions to a draining or closed manager.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrUnknownJob reports a job ID the manager has no record of.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+)
+
+// Config configures a Manager. The zero value of every field is a
+// usable default except Dir, which is required.
+type Config struct {
+	// Dir is the checkpoint directory, one JSON file per job; created if
+	// missing. A manager opened on a previous manager's Dir resumes its
+	// non-terminal jobs.
+	Dir string
+	// Engine executes the sweeps (nil means bftbcast.EngineFast).
+	Engine bftbcast.Engine
+	// Workers is the sweep worker-pool size (<= 0 means NumCPU).
+	Workers int
+	// MaxQueue bounds the pending queue; Submit fails with ErrQueueFull
+	// beyond it (<= 0 means 64).
+	MaxQueue int
+	// MaxRunning bounds the in-flight window (<= 0 means 1: strict FIFO).
+	MaxRunning int
+	// CheckpointEvery is the checkpoint cadence in completed points
+	// (<= 0 means 64). A crash recomputes at most this many points.
+	CheckpointEvery int
+	// StreamBuffer bounds each running sweep's result channel (<= 0
+	// means 16), keeping a job's undrained-report retention constant.
+	StreamBuffer int
+	// Observe, when set, attaches Observe(jobID, pointIndex) as the
+	// Observer of every point the manager actually runs — a test seam
+	// for asserting that resumed jobs recompute no completed point.
+	Observe func(jobID string, index int) bftbcast.Observer
+}
+
+func (c *Config) fill() error {
+	if c.Dir == "" {
+		return errors.New("jobs: Config.Dir is required")
+	}
+	if c.Engine == nil {
+		c.Engine = bftbcast.EngineFast
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxRunning <= 0 {
+		c.MaxRunning = 1
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 16
+	}
+	return nil
+}
+
+// Manager owns the job queue, the checkpoint directory and the
+// scheduler. Open it, Submit jobs, and Close it to drain.
+type Manager struct {
+	cfg        Config
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*Job
+	queue   []*Job
+	nextSeq uint64
+	running int
+	closed  bool
+
+	wg        sync.WaitGroup
+	schedDone chan struct{}
+}
+
+// Open creates (or reopens) a manager on cfg.Dir. Checkpointed jobs
+// are reloaded: terminal jobs stay queryable, and queued or running
+// jobs are re-enqueued in their original submission order, each
+// resuming at its checkpointed offset.
+func Open(cfg Config) (*Manager, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: checkpoint dir: %w", err)
+	}
+	cps, err := readCheckpoints(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		schedDone:  make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for _, cp := range cps {
+		spec, err := bftbcast.DecodeGridSpec(cp.Spec)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("jobs: checkpoint %s holds an invalid spec: %w", cp.ID, err)
+		}
+		job := &Job{
+			id:       cp.ID,
+			seq:      cp.Seq,
+			spec:     spec,
+			specJSON: append(json.RawMessage(nil), cp.Spec...),
+			total:    spec.NPoints(),
+			m:        m,
+			state:    cp.State,
+			agg:      cp.Aggregate,
+			errMsg:   cp.Err,
+			finished: make(chan struct{}),
+		}
+		if cp.State.Terminal() {
+			close(job.finished)
+		} else {
+			// A job checkpointed as running died with its daemon; it is
+			// queued again and resumes at its aggregate's offset.
+			job.state = StateQueued
+			m.queue = append(m.queue, job)
+		}
+		m.jobs[cp.ID] = job
+		if cp.Seq >= m.nextSeq {
+			m.nextSeq = cp.Seq + 1
+		}
+	}
+	go m.schedule()
+	return m, nil
+}
+
+// Submit validates the grid, persists it as a queued checkpoint and
+// enqueues it. The spec document is re-encoded and owned by the job;
+// the caller's GridSpec is not retained. Fails with ErrQueueFull when
+// the pending queue is at capacity and ErrClosed on a draining
+// manager; validation failures pass through the spec's typed errors
+// (bftbcast.ErrBadSpec et al.).
+func (m *Manager) Submit(spec *bftbcast.GridSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	doc, err := spec.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", bftbcast.ErrBadSpec, err)
+	}
+	// Decode the job's own copy so later caller mutations cannot reach
+	// the queued job.
+	owned, err := bftbcast.DecodeGridSpec(doc)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(m.queue) >= m.cfg.MaxQueue {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	id, err := m.newIDLocked()
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	job := &Job{
+		id:       id,
+		seq:      m.nextSeq,
+		spec:     owned,
+		specJSON: doc,
+		total:    owned.NPoints(),
+		m:        m,
+		state:    StateQueued,
+		agg:      NewAggregate(),
+		finished: make(chan struct{}),
+	}
+	m.nextSeq++
+	m.jobs[id] = job
+	m.mu.Unlock()
+
+	// Persist before the scheduler can see the job, so an accepted
+	// submission survives an immediate crash.
+	if err := m.checkpointJob(job); err != nil {
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	m.mu.Lock()
+	m.queue = append(m.queue, job)
+	m.cond.Signal()
+	m.mu.Unlock()
+	return job, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return job, nil
+}
+
+// Jobs returns every known job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, job := range m.jobs {
+		out = append(out, job)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Cancel terminates a job: a queued job is removed from the queue and
+// finalized immediately, a running one has its context cancelled (the
+// runner finalizes it). Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	for i, q := range m.queue {
+		if q == job {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+
+	job.mu.Lock()
+	if job.state.Terminal() {
+		job.mu.Unlock()
+		return nil
+	}
+	job.userCancel = true
+	if cancel := job.cancel; cancel != nil {
+		job.mu.Unlock()
+		cancel()
+		return nil
+	}
+	job.mu.Unlock()
+	m.finishJob(job, StateCancelled, nil)
+	return nil
+}
+
+// Close drains the manager: no new submissions, the scheduler stops,
+// and running jobs are interrupted and parked back to queued — their
+// checkpoints record the completed prefix, so the next Open resumes
+// them without recomputing a completed point. Close returns when the
+// drain finishes or ctx fires (the drain keeps finishing in the
+// background either way).
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+	} else {
+		m.closed = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		m.baseCancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		<-m.schedDone
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// schedule is the FIFO dispatcher: it launches queue heads while the
+// in-flight window has room and exits when the manager closes.
+func (m *Manager) schedule() {
+	defer close(m.schedDone)
+	for {
+		m.mu.Lock()
+		for !m.closed && (m.running >= m.cfg.MaxRunning || len(m.queue) == 0) {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		job := m.queue[0]
+		m.queue[0] = nil
+		m.queue = m.queue[1:]
+		m.running++
+		m.wg.Add(1)
+		m.mu.Unlock()
+		go func() {
+			defer m.wg.Done()
+			m.runJob(job)
+			m.mu.Lock()
+			m.running--
+			m.cond.Signal()
+			m.mu.Unlock()
+		}()
+	}
+}
+
+// runJob executes one job from its resume offset to a terminal state
+// (or parks it when the manager drains).
+func (m *Manager) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	job.mu.Lock()
+	if job.state.Terminal() {
+		// Cancelled in the gap between dequeue and start.
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.cancel = cancel
+	skip := int(job.agg.Done)
+	job.mu.Unlock()
+
+	if err := m.checkpointJob(job); err != nil {
+		m.finishJob(job, StateFailed, err)
+		return
+	}
+
+	scenarios, err := job.spec.Scenarios()
+	if err != nil {
+		m.finishJob(job, StateFailed, err)
+		return
+	}
+	if skip > len(scenarios) {
+		skip = len(scenarios)
+	}
+	if m.cfg.Observe != nil {
+		for i := skip; i < len(scenarios); i++ {
+			sc, err := scenarios[i].With(bftbcast.WithObserver(m.cfg.Observe(job.id, i)))
+			if err != nil {
+				m.finishJob(job, StateFailed, err)
+				return
+			}
+			scenarios[i] = sc
+		}
+	}
+
+	sweep := &bftbcast.Sweep{
+		Engine:    m.cfg.Engine,
+		Workers:   m.cfg.Workers,
+		Scenarios: scenarios[skip:],
+		Buffer:    m.cfg.StreamBuffer,
+	}
+	stream := sweep.Stream(ctx)
+	var runErr error
+	since, received := 0, 0
+	for pt := range stream {
+		if pt.Err != nil {
+			runErr = pt.Err
+			break
+		}
+		pt.Index += skip // job-global point index
+		rec := pointRecord(job.id, pt)
+		job.mu.Lock()
+		job.agg.Add(pt.Report)
+		job.publishLocked(rec)
+		job.mu.Unlock()
+		received++
+		since++
+		if since >= m.cfg.CheckpointEvery {
+			since = 0
+			if err := m.checkpointJob(job); err != nil {
+				runErr = err
+				break
+			}
+		}
+	}
+	if runErr != nil {
+		// The bounded stream's abandonment contract: cancel, then drain
+		// whatever the emitter still delivers so it shuts down cleanly.
+		cancel()
+		for range stream {
+		}
+	}
+
+	job.mu.Lock()
+	user := job.userCancel
+	job.mu.Unlock()
+	switch {
+	case runErr == nil && received == len(scenarios)-skip:
+		m.finishJob(job, StateDone, nil)
+	case user:
+		m.finishJob(job, StateCancelled, nil)
+	case m.baseCtx.Err() != nil:
+		m.parkJob(job)
+	case runErr != nil:
+		m.finishJob(job, StateFailed, runErr)
+	default:
+		// A bounded stream may close short without an error point when
+		// its ctx is cancelled mid-delivery (the emitter drops instead
+		// of parking); the user/drain cases above own that. Reaching
+		// here means the stream ended early with no cancellation in
+		// sight — fail loudly rather than record a partial job as done.
+		m.finishJob(job, StateFailed,
+			fmt.Errorf("jobs: stream ended after %d of %d points", received, len(scenarios)-skip))
+	}
+}
+
+// finishJob moves a job to a terminal state, ends its live tails and
+// checkpoints the final record.
+func (m *Manager) finishJob(job *Job, state State, runErr error) {
+	job.mu.Lock()
+	job.state = state
+	job.cancel = nil
+	if runErr != nil {
+		job.errMsg = runErr.Error()
+	}
+	job.closeSubsLocked()
+	close(job.finished)
+	job.mu.Unlock()
+	// The terminal checkpoint is best-effort: the in-memory state is
+	// already final, and a write failure here must not wedge the job.
+	_ = m.checkpointJob(job)
+}
+
+// parkJob returns a drain-interrupted job to the queued state on disk
+// and in memory — not terminal, so the next Open resumes it. Its live
+// tails end (the process is going away).
+func (m *Manager) parkJob(job *Job) {
+	job.mu.Lock()
+	job.state = StateQueued
+	job.cancel = nil
+	job.closeSubsLocked()
+	job.mu.Unlock()
+	_ = m.checkpointJob(job)
+}
+
+// checkpointJob atomically persists the job's current record.
+func (m *Manager) checkpointJob(job *Job) error {
+	job.mu.Lock()
+	cp := &checkpoint{
+		ID:        job.id,
+		Seq:       job.seq,
+		State:     job.state,
+		Total:     job.total,
+		Spec:      job.specJSON,
+		Err:       job.errMsg,
+		Aggregate: job.agg,
+	}
+	// Marshal under the lock: the aggregate mutates as points land.
+	data, err := json.Marshal(cp)
+	job.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("jobs: encode checkpoint %s: %w", job.id, err)
+	}
+	return writeCheckpointBytes(m.cfg.Dir, job.id, data)
+}
+
+// newIDLocked mints a fresh job ID; m.mu is held.
+func (m *Manager) newIDLocked() (string, error) {
+	for {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "", fmt.Errorf("jobs: mint job ID: %w", err)
+		}
+		id := "j" + hex.EncodeToString(b[:])
+		if _, taken := m.jobs[id]; !taken {
+			return id, nil
+		}
+	}
+}

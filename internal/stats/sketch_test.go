@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestMomentsMatchesSummarize cross-checks the streaming summary against
+// the batch Summarize on a random sample.
+func TestMomentsMatchesSummarize(t *testing.T) {
+	rng := NewRNG(7)
+	xs := make([]float64, 1000)
+	var m Moments
+	for i := range xs {
+		xs[i] = rng.Float64()*500 + 1
+		m.Add(xs[i])
+	}
+	want, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(m.N) != want.N || m.Min != want.Min || m.Max != want.Max {
+		t.Fatalf("counts/extrema: got (%d, %g, %g), want (%d, %g, %g)",
+			m.N, m.Min, m.Max, want.N, want.Min, want.Max)
+	}
+	if math.Abs(m.Mean-want.Mean) > 1e-9 {
+		t.Fatalf("mean: got %g, want %g", m.Mean, want.Mean)
+	}
+	if math.Abs(m.StdDev()-want.StdDev) > 1e-9 {
+		t.Fatalf("stddev: got %g, want %g", m.StdDev(), want.StdDev)
+	}
+}
+
+// TestMomentsMerge splits a stream at every possible cut point and
+// checks the merged summary matches the single-pass one: the
+// mergeability contract the checkpoint story depends on.
+func TestMomentsMerge(t *testing.T) {
+	rng := NewRNG(11)
+	xs := make([]float64, 200)
+	var whole Moments
+	for i := range xs {
+		xs[i] = rng.Float64()*100 - 20
+		whole.Add(xs[i])
+	}
+	for cut := 0; cut <= len(xs); cut += 13 {
+		var a, b Moments
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.N != whole.N || a.Min != whole.Min || a.Max != whole.Max {
+			t.Fatalf("cut %d: counts/extrema diverge", cut)
+		}
+		if math.Abs(a.Mean-whole.Mean) > 1e-9 || math.Abs(a.StdDev()-whole.StdDev()) > 1e-9 {
+			t.Fatalf("cut %d: mean/stddev diverge: merged (%g, %g) vs whole (%g, %g)",
+				cut, a.Mean, a.StdDev(), whole.Mean, whole.StdDev())
+		}
+	}
+	// Merging into/with an empty summary is the identity.
+	var empty Moments
+	empty.Merge(whole)
+	if empty != whole {
+		t.Fatalf("empty.Merge(whole) = %+v, want %+v", empty, whole)
+	}
+	before := whole
+	whole.Merge(Moments{})
+	if whole != before {
+		t.Fatalf("whole.Merge(empty) changed the summary")
+	}
+}
+
+// TestQSketchAccuracy checks the advertised relative-error bound against
+// exact quantiles of a skewed sample.
+func TestQSketchAccuracy(t *testing.T) {
+	rng := NewRNG(3)
+	s := NewQSketch()
+	xs := make([]float64, 20000)
+	for i := range xs {
+		// Log-uniform over [1, ~20000]: exercises many buckets.
+		xs[i] = math.Exp(rng.Float64() * 9.9)
+		s.Add(xs[i])
+	}
+	sort.Float64s(xs)
+	alpha := s.RelativeError()
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		exact := Percentile(xs, q)
+		got := s.Quantile(q)
+		if math.Abs(got-exact) > alpha*exact+1e-9 {
+			t.Fatalf("q=%g: got %g, exact %g (allowed relative error %g)", q, got, exact, alpha)
+		}
+	}
+	if s.Count() != int64(len(xs)) {
+		t.Fatalf("count %d, want %d", s.Count(), len(xs))
+	}
+}
+
+// TestQSketchZeroAndSaturation pins the edges: sub-1 values report as 0
+// and out-of-range values saturate instead of growing the sketch.
+func TestQSketchZeroAndSaturation(t *testing.T) {
+	s := NewQSketch()
+	for i := 0; i < 10; i++ {
+		s.Add(0)
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero median = %g, want 0", got)
+	}
+	s.Add(1e300) // far beyond the bucket range
+	if got := s.Quantile(1); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("saturated max = %g, want a finite estimate", got)
+	}
+	if s.Count() != 11 {
+		t.Fatalf("count %d, want 11", s.Count())
+	}
+}
+
+// TestQSketchMergeExact merges shard sketches and requires the result be
+// identical — not approximately equal — to the single-pass sketch:
+// bucket counts are integers, so mergeability is exact.
+func TestQSketchMergeExact(t *testing.T) {
+	rng := NewRNG(5)
+	whole := NewQSketch()
+	shards := []*QSketch{NewQSketch(), NewQSketch(), NewQSketch()}
+	for i := 0; i < 5000; i++ {
+		x := math.Exp(rng.Float64() * 8)
+		whole.Add(x)
+		shards[i%len(shards)].Add(x)
+	}
+	merged := NewQSketch()
+	// Merge in reverse order to prove order independence.
+	for i := len(shards) - 1; i >= 0; i-- {
+		merged.Merge(shards[i])
+	}
+	a, err := json.Marshal(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merged sketch differs from single-pass sketch:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestQSketchJSONRoundTrip requires the checkpoint encoding be
+// deterministic and lossless: marshal → unmarshal → marshal must be
+// byte-identical, and a geometry mismatch must fail loudly.
+func TestQSketchJSONRoundTrip(t *testing.T) {
+	rng := NewRNG(9)
+	s := NewQSketch()
+	for i := 0; i < 3000; i++ {
+		s.Add(float64(rng.Intn(4000)))
+	}
+	first, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewQSketch()
+	if err := json.Unmarshal(first, restored); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("round trip not byte-identical:\n%s\nvs\n%s", first, second)
+	}
+	for _, q := range []float64{0, 0.5, 0.99} {
+		if s.Quantile(q) != restored.Quantile(q) {
+			t.Fatalf("q=%g differs after round trip", q)
+		}
+	}
+
+	var bad QSketch
+	if err := json.Unmarshal([]byte(`{"alpha":0.1,"count":0,"zero":0,"buckets":[]}`), &bad); err == nil {
+		t.Fatal("alpha mismatch accepted")
+	}
+}
+
+// TestQSketchEmpty pins NaN for the empty sketch.
+func TestQSketchEmpty(t *testing.T) {
+	if got := NewQSketch().Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty quantile = %g, want NaN", got)
+	}
+}

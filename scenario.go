@@ -156,38 +156,75 @@ func (sc *Scenario) normalized() (*Scenario, error) {
 	return &out, nil
 }
 
+// The typed validation errors: every rejection from NewScenario,
+// Scenario.With, Scenario.Validate and the Engine entry points wraps
+// exactly one of these, so callers that triage submissions — the
+// bftsimd job daemon foremost — can classify failures with errors.Is
+// instead of matching message text.
+var (
+	// ErrNoTopology rejects a Scenario without a topology.
+	ErrNoTopology = errors.New("bftbcast: scenario needs a topology (WithTopology)")
+	// ErrBadParams rejects a nonsensical fault model — r < 1, t outside
+	// [0, r(2r+1)), or a negative mf. The wrapped cause names the field.
+	ErrBadParams = errors.New("bftbcast: bad scenario Params")
+	// ErrBadSource rejects a source node outside the topology.
+	ErrBadSource = errors.New("bftbcast: scenario source out of range")
+	// ErrBadLimits rejects a negative MaxSlots or RunWorkers.
+	ErrBadLimits = errors.New("bftbcast: negative scenario limit")
+	// ErrBadProtocol rejects an unknown ProtocolID.
+	ErrBadProtocol = errors.New("bftbcast: unknown protocol")
+	// ErrBadBroadcasts rejects a nonsensical Broadcasts count: negative,
+	// more instances than nodes, or the multi-broadcast × reactive
+	// conflict (the reactive protocol is single-broadcast).
+	ErrBadBroadcasts = errors.New("bftbcast: bad scenario Broadcasts")
+)
+
+// Validate checks the Scenario against the engine-independent
+// invariants without running it, returning nil or an error wrapping one
+// of the typed validation errors (ErrNoTopology, ErrBadParams, ...).
+// Defaults are filled on a copy, so the receiver is never mutated. It
+// is how the jobs layer rejects a malformed submission at submit time
+// instead of failing mid-sweep.
+func (sc *Scenario) Validate() error {
+	_, err := sc.normalized()
+	return err
+}
+
 // validate fills defaults and checks the engine-independent invariants.
 func (sc *Scenario) validate() error {
 	if sc.Topo == nil {
-		return errors.New("bftbcast: scenario needs a topology (WithTopology)")
+		return ErrNoTopology
 	}
 	if sc.Params.R == 0 {
 		sc.Params.R = sc.Topo.Range()
 	}
+	if err := sc.Params.Validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadParams, err)
+	}
 	if int(sc.Source) < 0 || int(sc.Source) >= sc.Topo.Size() {
-		return fmt.Errorf("bftbcast: scenario source %d out of range [0, %d)", sc.Source, sc.Topo.Size())
+		return fmt.Errorf("%w: source %d not in [0, %d)", ErrBadSource, sc.Source, sc.Topo.Size())
 	}
 	if sc.MaxSlots < 0 {
-		return fmt.Errorf("bftbcast: scenario MaxSlots %d must be >= 0", sc.MaxSlots)
+		return fmt.Errorf("%w: MaxSlots %d must be >= 0", ErrBadLimits, sc.MaxSlots)
 	}
 	if sc.RunWorkers < 0 {
-		return fmt.Errorf("bftbcast: scenario RunWorkers %d must be >= 0", sc.RunWorkers)
+		return fmt.Errorf("%w: RunWorkers %d must be >= 0", ErrBadLimits, sc.RunWorkers)
 	}
 	switch sc.Protocol {
 	case "", ProtocolThreshold, ProtocolReactive:
 	default:
-		return fmt.Errorf("bftbcast: unknown protocol %q (want %q or %q)",
-			sc.Protocol, ProtocolThreshold, ProtocolReactive)
+		return fmt.Errorf("%w: %q (want %q or %q)",
+			ErrBadProtocol, sc.Protocol, ProtocolThreshold, ProtocolReactive)
 	}
 	if sc.Broadcasts < 0 {
-		return fmt.Errorf("bftbcast: scenario Broadcasts %d must be >= 0", sc.Broadcasts)
+		return fmt.Errorf("%w: %d must be >= 0", ErrBadBroadcasts, sc.Broadcasts)
 	}
 	if sc.Broadcasts > 1 {
 		if sc.Protocol == ProtocolReactive {
-			return errors.New("bftbcast: multi-broadcast traffic (WithBroadcasts >= 2) runs the threshold protocol family; the reactive protocol is single-broadcast")
+			return fmt.Errorf("%w: multi-broadcast traffic (WithBroadcasts >= 2) runs the threshold protocol family; the reactive protocol is single-broadcast", ErrBadBroadcasts)
 		}
 		if sc.Broadcasts > sc.Topo.Size() {
-			return fmt.Errorf("bftbcast: scenario Broadcasts %d exceeds the topology's %d nodes", sc.Broadcasts, sc.Topo.Size())
+			return fmt.Errorf("%w: %d instances exceed the topology's %d nodes", ErrBadBroadcasts, sc.Broadcasts, sc.Topo.Size())
 		}
 	}
 	return nil

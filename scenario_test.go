@@ -2,6 +2,7 @@ package bftbcast_test
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -28,6 +29,57 @@ func TestNewScenarioValidation(t *testing.T) {
 	}
 	if sc.Params.R != tor.Range() {
 		t.Fatalf("Params.R = %d, want topology range %d", sc.Params.R, tor.Range())
+	}
+}
+
+// TestScenarioTypedValidationErrors pins the typed-error contract: every
+// rejection class is classifiable with errors.Is, Validate does not
+// mutate the receiver, and a well-formed scenario passes.
+func TestScenarioTypedValidationErrors(t *testing.T) {
+	tor, err := bftbcast.NewTorus(10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := bftbcast.WithTopology(tor)
+	cases := []struct {
+		name string
+		want error
+		opts []bftbcast.ScenarioOption
+	}{
+		{"no topology", bftbcast.ErrNoTopology, nil},
+		{"bad source", bftbcast.ErrBadSource, []bftbcast.ScenarioOption{topo, bftbcast.WithSource(1000)}},
+		{"negative mf", bftbcast.ErrBadParams, []bftbcast.ScenarioOption{topo, bftbcast.WithParams(bftbcast.Params{R: 1, T: 0, MF: -1})}},
+		{"t too large", bftbcast.ErrBadParams, []bftbcast.ScenarioOption{topo, bftbcast.WithParams(bftbcast.Params{R: 1, T: 99, MF: 1})}},
+		{"negative max slots", bftbcast.ErrBadLimits, []bftbcast.ScenarioOption{topo, bftbcast.WithMaxSlots(-1)}},
+		{"negative run workers", bftbcast.ErrBadLimits, []bftbcast.ScenarioOption{topo, bftbcast.WithRunWorkers(-1)}},
+		{"unknown protocol", bftbcast.ErrBadProtocol, []bftbcast.ScenarioOption{topo, bftbcast.WithProtocol("warp")}},
+		{"negative broadcasts", bftbcast.ErrBadBroadcasts, []bftbcast.ScenarioOption{topo, bftbcast.WithBroadcasts(-1)}},
+		{"broadcasts exceed nodes", bftbcast.ErrBadBroadcasts, []bftbcast.ScenarioOption{topo, bftbcast.WithBroadcasts(1001)}},
+		{"broadcasts with reactive", bftbcast.ErrBadBroadcasts, []bftbcast.ScenarioOption{topo, bftbcast.WithProtocol(bftbcast.ProtocolReactive), bftbcast.WithBroadcasts(2)}},
+	}
+	for _, tc := range cases {
+		_, err := bftbcast.NewScenario(tc.opts...)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: NewScenario error = %v, want errors.Is(%v)", tc.name, err, tc.want)
+		}
+		sc := &bftbcast.Scenario{}
+		for _, opt := range tc.opts {
+			opt(sc)
+		}
+		before := sc.Params
+		if err := sc.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate error = %v, want errors.Is(%v)", tc.name, err, tc.want)
+		}
+		if sc.Params != before {
+			t.Errorf("%s: Validate mutated the scenario (Params %+v -> %+v)", tc.name, before, sc.Params)
+		}
+	}
+	sc, err := bftbcast.NewScenario(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid scenario: Validate = %v", err)
 	}
 }
 

@@ -2,9 +2,11 @@
 # bench_sim.sh — run the engine sweep benchmarks (sparse fast path vs the
 # dense sim/ref baseline, the harness parallel variant, the re-platformed
 # reactive-protocol sweep, the multi-broadcast traffic tier, the
-# protocol-layer BVDeliver hot path, and the large-scale tier: the
+# protocol-layer BVDeliver hot path, the large-scale tier: the
 # 160×160 torus sweep, the 100k-node RGG single-run, and the
-# million-node RGG single-run) and emit BENCH_sim.json, the
+# million-node RGG single-run — plus the job-service tier, the
+# end-to-end submit/run/aggregate/wait path of internal/jobs behind
+# cmd/bftsimd) and emit BENCH_sim.json, the
 # machine-readable record the CI bench job uploads and the repo checks in
 # as the perf trajectory across PRs.
 #
@@ -12,7 +14,8 @@
 # speedups are recorded against it and the run FAILS (the CI gates) if:
 #   - BenchmarkSweep45Scenario, BenchmarkRGG100kRun or
 #     BenchmarkMultiBroadcast regressed by more than 10%, or
-#     BenchmarkRGG1MRun by more than 15%, in ns/op, or
+#     BenchmarkRGG1MRun or BenchmarkJobThroughput by more than 15%,
+#     in ns/op, or
 #   - BenchmarkBVDeliver, BenchmarkRGG100kRun, BenchmarkRGG1MRun or
 #     BenchmarkMultiBroadcast regressed by more than 10% in allocs/op.
 # Allocation gates are machine-independent; they guard the protocol
@@ -32,7 +35,7 @@ OUT="${2:-BENCH_sim.json}"
 PREVFLAGS=""
 if [ -f BENCH_sim.json ]; then
   cp BENCH_sim.json /tmp/bench_prev.json
-  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10,BenchmarkBVDeliver:allocs:1.10,BenchmarkRGG100kRun:1.10,BenchmarkRGG100kRun:allocs:1.10,BenchmarkRGG1MRun:1.15,BenchmarkRGG1MRun:allocs:1.10,BenchmarkMultiBroadcast:1.10,BenchmarkMultiBroadcast:allocs:1.10"
+  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10,BenchmarkBVDeliver:allocs:1.10,BenchmarkRGG100kRun:1.10,BenchmarkRGG100kRun:allocs:1.10,BenchmarkRGG1MRun:1.15,BenchmarkRGG1MRun:allocs:1.10,BenchmarkMultiBroadcast:1.10,BenchmarkMultiBroadcast:allocs:1.10,BenchmarkJobThroughput:1.15"
 fi
 
 go build -o /tmp/benchjson ./cmd/benchjson
@@ -58,6 +61,13 @@ run_suite() {
   go test -run '^$' -timeout 600s \
     -bench 'BenchmarkBVDeliver$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/bv >> "$RAW"
+  # The job-service tier: end-to-end submit → checkpointing run →
+  # constant-memory aggregation → wait for a 64-point grid, the path
+  # every bftsimd job takes. Gated loosely (15%): the checkpoint fsyncs
+  # make it disk-sensitive.
+  go test -run '^$' -timeout 600s \
+    -bench 'BenchmarkJobThroughput$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/jobs >> "$RAW"
   cat "$RAW" >&2
 }
 
