@@ -57,13 +57,16 @@ func main() {
 	prevPath := flag.String("prev", "", "previous BENCH_sim.json to compute *_vs_prev speedups against")
 	maxRegress := flag.String("max-regress", "", "comma-separated gates name:factor (ns/op) or name:allocs:factor (allocs/op) — fail when a guarded benchmark regressed past factor × its -prev value")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *prevPath, *maxRegress); err != nil {
+	if err := run(os.Stdin, os.Stdout, os.Stderr, *prevPath, *maxRegress); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out io.Writer, prevPath, maxRegress string) error {
+// run converts the bench output on in to the JSON document on out and
+// enforces the -max-regress gates; advisory warnings (skipped gates) go
+// to errw, injected so the warning paths stay testable.
+func run(in io.Reader, out, errw io.Writer, prevPath, maxRegress string) error {
 	doc := Doc{Speedups: map[string]float64{}}
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
@@ -134,10 +137,10 @@ func run(in io.Reader, out io.Writer, prevPath, maxRegress string) error {
 		// Allocation gates are machine-independent and always enforced.
 		cpuMatch := prev.CPU == "" || doc.CPU == prev.CPU
 		if !cpuMatch {
-			fmt.Fprintf(os.Stderr, "benchjson: ns/op gates skipped: cpu %q differs from snapshot %q\n", doc.CPU, prev.CPU)
+			fmt.Fprintf(errw, "benchjson: ns/op gates skipped: cpu %q differs from snapshot %q\n", doc.CPU, prev.CPU)
 		}
 		for _, gate := range strings.Split(maxRegress, ",") {
-			if err := checkGate(strings.TrimSpace(gate), &doc, prev, cpuMatch); err != nil {
+			if err := checkGate(strings.TrimSpace(gate), &doc, prev, cpuMatch, errw); err != nil {
 				return err
 			}
 		}
@@ -147,7 +150,7 @@ func run(in io.Reader, out io.Writer, prevPath, maxRegress string) error {
 
 // checkGate enforces one -max-regress entry: name:factor (ns/op) or
 // name:allocs:factor (allocs/op).
-func checkGate(gate string, doc, prev *Doc, cpuMatch bool) error {
+func checkGate(gate string, doc, prev *Doc, cpuMatch bool, errw io.Writer) error {
 	parts := strings.Split(gate, ":")
 	var (
 		name, metric string
@@ -172,7 +175,7 @@ func checkGate(gate string, doc, prev *Doc, cpuMatch bool) error {
 	if old == nil {
 		// A benchmark newly added to the suite has no previous value to
 		// gate against; it joins the snapshot now and gates next time.
-		fmt.Fprintf(os.Stderr, "benchjson: gate skipped: %s missing from prev\n", name)
+		fmt.Fprintf(errw, "benchjson: gate skipped: %s missing from prev\n", name)
 		return nil
 	}
 	switch metric {

@@ -184,5 +184,14 @@ func (t *ThresholdInstance) Sizing() (sourceSends, maxSends int) {
 // Finish implements Instance (nothing to publish).
 func (t *ThresholdInstance) Finish(int) {}
 
+// WorkHint implements WorkHinter: one delivery is one protocol entry,
+// so the engine's pending×degree delivery estimate needs no scaling.
+// Stated explicitly (rather than relying on the engine's default of 1)
+// so the seam's two hint shapes are both visible in code.
+func (t *ThresholdInstance) WorkHint() int { return 1 }
+
 // The fast engine's in-run parallel path shards threshold runs.
-var _ ShardedInstance = (*ThresholdInstance)(nil)
+var (
+	_ ShardedInstance = (*ThresholdInstance)(nil)
+	_ WorkHinter      = (*ThresholdInstance)(nil)
+)

@@ -95,9 +95,11 @@ type Config struct {
 	// every shard artifact in canonical ascending-receiver order, so the
 	// Result and the observer stream are bit-identical to the sequential
 	// path for every worker count. <= 1 (the default) runs today's
-	// sequential path; protocol machines that do not implement
-	// protocol.ShardedInstance run sequentially whatever this says, and
-	// the dense reference engine (internal/sim/ref) ignores it entirely.
+	// sequential path; protocol machines that implement neither
+	// protocol.ShardedInstance (threshold) nor
+	// protocol.ShardFoldingInstance (multi-broadcast) run sequentially
+	// whatever this says, and the dense reference engine
+	// (internal/sim/ref) ignores it entirely.
 	RunWorkers int
 	// OnAccept, when non-nil, observes every acceptance.
 	OnAccept func(slot int, id grid.NodeID, v radio.Value)
@@ -236,19 +238,32 @@ type Runner struct {
 
 	// In-run parallelism (Config.RunWorkers > 1, see DESIGN.md §11).
 	// gang is the run's bounded worker set, armed by RunContext only when
-	// the instance implements protocol.ShardedInstance and closed when the
-	// run returns (any path); shardInst is that instance's sharded seam,
-	// shards the per-worker scratch, shardAvg the plan's per-color mean
-	// degree (the slot-gating estimate), shardColor the slot's color for
+	// the instance implements one of the two sharded-delivery seams —
+	// protocol.ShardedInstance (shardInst: the engine replays hooks from
+	// the merged batch) or protocol.ShardFoldingInstance (foldInst: the
+	// instance folds its own aggregates and hooks from the merged journal,
+	// the multi-broadcast shape) — and closed when the run returns (any
+	// path). shards is the per-worker scratch, shardAvg the plan's
+	// per-color mean degree (the slot-gating estimate), workHint the
+	// instance's entries-per-delivery scale for the gate
+	// (protocol.WorkHinter, default 1), shardColor the slot's color for
 	// the phase closures — which are method values stored once so the
-	// per-slot gang.Run calls don't allocate.
+	// per-slot gang.Run calls don't allocate. shardSlots/shardEntries
+	// count the slots and deliveries that actually took the sharded
+	// delivery path this run (exposed to tests, see export_test.go).
 	gang         *pool.Gang
 	shardInst    protocol.ShardedInstance
+	foldInst     protocol.ShardFoldingInstance
 	shards       []shardState
 	shardAvg     []int32
+	workHint     int64
 	shardColor   int
 	phaseEmit    func(w int)
 	phaseDeliver func(w int)
+	phaseFold    func(w int)
+	journal      []protocol.Decide
+	shardSlots   int
+	shardEntries int64
 
 	res Result
 }
@@ -259,13 +274,14 @@ type Runner struct {
 // coordinator folds into the shared totals at the phase barrier. Padded
 // so neighboring workers' hot counters don't share a cache line.
 type shardState struct {
-	txs      []radio.Tx      // phase A: this worker's emitted transmissions
-	sends    []protocol.Send // phase B: this worker's protocol sends
-	lo, hi   int             // segment bounds in the queue / delivery batch
-	kept     int             // phase A: queue entries kept after compaction
-	good     int             // phase A: GoodMessages delta
-	consumed int64           // phase A: colorPending/pendingTotal delta
-	err      error           // first error this worker hit
+	txs      []radio.Tx       // phase A: this worker's emitted transmissions
+	sends    []protocol.Send  // phase B: this worker's protocol sends
+	journal  []protocol.Decide // phase B (folding seam): this worker's acceptances
+	lo, hi   int              // segment bounds in the queue / delivery batch
+	kept     int              // phase A: queue entries kept after compaction
+	good     int              // phase A: GoodMessages delta
+	consumed int64            // phase A: colorPending/pendingTotal delta
+	err      error            // first error this worker hit
 	_        [64]byte
 }
 
@@ -424,14 +440,32 @@ func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	// Arm the in-run parallel path when asked for and the instance
-	// supports it. The gang lives for exactly one run: the deferred Close
-	// joins its goroutines on every exit — normal, error or cancellation —
-	// so parallel runs never leak workers (see TestParallelCancel).
+	// supports one of the sharded-delivery seams. The gang lives for
+	// exactly one run: the deferred Close joins its goroutines on every
+	// exit — normal, error or cancellation — so parallel runs never leak
+	// workers (see TestParallelCancel).
+	r.shardSlots, r.shardEntries = 0, 0
 	if cfg.RunWorkers > 1 {
-		if si, ok := r.inst.(protocol.ShardedInstance); ok {
+		si, sharded := r.inst.(protocol.ShardedInstance)
+		fi, folding := r.inst.(protocol.ShardFoldingInstance)
+		if sharded || folding {
 			if sh := r.plan.Sharding(); sh.ClassDeg != nil {
-				r.shardInst = si
+				if sharded {
+					r.shardInst = si
+				} else {
+					r.foldInst = fi
+				}
 				r.shardAvg = sh.AvgDeg
+				// The work gate estimates deliveries; instances whose
+				// deliveries expand into several protocol entries (the
+				// multi machine's M) scale the estimate so fat-entry slots
+				// shard even at low delivery counts.
+				r.workHint = 1
+				if wh, ok := r.inst.(protocol.WorkHinter); ok {
+					if h := wh.WorkHint(); h > 1 {
+						r.workHint = int64(h)
+					}
+				}
 				r.gang = pool.NewGang(cfg.RunWorkers)
 				// Keep (don't clear) the per-worker buffers across runs;
 				// shardSlot resets the bookkeeping fields per slot.
@@ -443,11 +477,13 @@ func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if r.phaseEmit == nil {
 					r.phaseEmit = r.shardEmitMark
 					r.phaseDeliver = r.shardDeliverWorker
+					r.phaseFold = r.shardFoldWorker
 				}
 				defer func() {
 					r.gang.Close()
 					r.gang = nil
 					r.shardInst = nil
+					r.foldInst = nil
 					r.shardAvg = nil
 				}()
 			}
@@ -597,7 +633,7 @@ func (r *Runner) run(ctx context.Context) (*Result, error) {
 		// the outputs are bit-identical either way, only the wall clock
 		// differs.
 		sharded := r.gang != nil && r.colorPending[color] > 0 &&
-			r.colorPending[color]*int64(r.shardAvg[color]) >= minShardWork
+			r.colorPending[color]*int64(r.shardAvg[color])*r.workHint >= minShardWork
 		if sharded {
 			if err := r.shardSlot(slot, color); err != nil {
 				return nil, err
@@ -821,12 +857,15 @@ func (r *Runner) shardEmitMark(w int) {
 // instance's DeliverShard in equal-count chunks — any chunking is
 // receiver-disjoint, since each receiver appears at most once per
 // collision-free slot — and the coordinator merges the returned sends in
-// chunk (= ascending receiver) order and replays the observer hooks over
-// the merged batch. Acceptances surface as the sends appended in
-// delivery order, so a lockstep walk pairs each OnAccept with the
-// delivery that caused it, reproducing the sequential event stream.
-// Only jam-free slots are sharded, so Collided deliveries never reach
-// this path.
+// chunk (= ascending receiver) order. On the plain sharded seam the
+// coordinator then replays the observer hooks over the merged batch:
+// acceptances surface as the sends appended in delivery order, so a
+// lockstep walk pairs each OnAccept with the delivery that caused it,
+// reproducing the sequential event stream. On the folding seam the
+// sender-indexed prepass runs first, workers journal acceptances, and
+// the instance's ShardFold owns the counter folds and hook replay (it
+// knows which sends belong to which instance). Only jam-free slots are
+// sharded, so Collided deliveries never reach this path.
 func (r *Runner) shardDeliver(slot int) {
 	deliveries := len(r.tentative)
 	workers := r.gang.Workers()
@@ -834,6 +873,19 @@ func (r *Runner) shardDeliver(slot int) {
 		s := &r.shards[w]
 		s.lo = w * deliveries / workers
 		s.hi = (w + 1) * deliveries / workers
+	}
+	r.shardSlots++
+	r.shardEntries += int64(deliveries) * r.workHint
+	if r.foldInst != nil {
+		r.foldInst.ShardPrepass(slot, r.tentative)
+		r.gang.Run(r.phaseFold)
+		r.journal = r.journal[:0]
+		for w := 0; w < workers; w++ {
+			r.sendBuf = append(r.sendBuf, r.shards[w].sends...)
+			r.journal = append(r.journal, r.shards[w].journal...)
+		}
+		r.foldInst.ShardFold(slot, r.tentative, r.sendBuf, r.journal, &r.hooks)
+		return
 	}
 	r.gang.Run(r.phaseDeliver)
 	for w := 0; w < workers; w++ {
@@ -855,10 +907,18 @@ func (r *Runner) shardDeliver(slot int) {
 	}
 }
 
-// shardDeliverWorker is the gang's phase B worker.
+// shardDeliverWorker is the gang's phase B worker (sharded seam).
 func (r *Runner) shardDeliverWorker(w int) {
 	s := &r.shards[w]
 	s.sends = r.shardInst.DeliverShard(r.tentative[s.lo:s.hi], s.sends[:0])
+}
+
+// shardFoldWorker is the gang's phase B worker (folding seam): same
+// chunk, but acceptances are journaled for the coordinator's fold.
+func (r *Runner) shardFoldWorker(w int) {
+	s := &r.shards[w]
+	s.sends, s.journal = r.foldInst.DeliverShard(
+		r.curSlot, r.tentative[s.lo:s.hi], s.sends[:0], s.journal[:0])
 }
 
 // validateJams enforces the adversary rules: jams must come from distinct

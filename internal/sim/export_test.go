@@ -9,3 +9,11 @@ func SetMinShardWork(v int64) (restore func()) {
 	minShardWork = v
 	return func() { minShardWork = old }
 }
+
+// ShardStats exposes the last run's shard-path counters: how many slots
+// took the parallel delivery path and how many protocol-level entries
+// (deliveries × work hint) they carried. Tests assert on these to prove
+// a configuration actually sharded, instead of inferring it from timing.
+func (r *Runner) ShardStats() (slots int, entries int64) {
+	return r.shardSlots, r.shardEntries
+}

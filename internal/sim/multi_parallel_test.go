@@ -1,0 +1,262 @@
+package sim_test
+
+// The multi-broadcast machine shards through the folding seam
+// (protocol.ShardFoldingInstance, DESIGN.md §12): a sender-indexed
+// prepass, receiver-disjoint shards that journal acceptances, and a
+// coordinator fold that owns the counters and the hook replay. These
+// tests hold that path to the same bar as the threshold seam — full
+// Results, machine stats and complete instance-tagged observer streams
+// bit-identical to sequential for every worker count — and prove via
+// the engine's shard counters that the M-aware work gate actually
+// routes multi slots through it (run under -race in CI's parallel leg).
+
+import (
+	"reflect"
+	"testing"
+
+	"bftbcast/internal/core"
+	"bftbcast/internal/grid"
+	"bftbcast/internal/protocol"
+	"bftbcast/internal/radio"
+	"bftbcast/internal/sim"
+	"bftbcast/internal/sim/simtest"
+)
+
+// multiMs is the instance-count matrix: a small M, an odd mid M, and
+// the bench-scale M=32.
+var multiMs = []int{2, 5, 32}
+
+// mevent is one observer callback of a multi run, engine-level and
+// instance-level hooks flattened into a single ordered stream.
+type mevent struct {
+	kind        string
+	slot        int
+	inst        int
+	id          grid.NodeID
+	to          grid.NodeID
+	v           radio.Value
+	adversarial bool
+}
+
+// observeMulti wires every engine hook of cfg and both instance-tagged
+// hooks of m into one fresh event log and returns the log.
+func observeMulti(cfg *sim.Config, m *protocol.Multi) *[]mevent {
+	log := &[]mevent{}
+	cfg.OnSlotStart = func(slot int) {
+		*log = append(*log, mevent{kind: "slot", slot: slot})
+	}
+	cfg.OnSend = func(slot int, from grid.NodeID, v radio.Value, adversarial bool) {
+		*log = append(*log, mevent{kind: "send", slot: slot, id: from, v: v, adversarial: adversarial})
+	}
+	cfg.OnDeliver = func(slot int, d radio.Delivery) {
+		*log = append(*log, mevent{kind: "deliver", slot: slot, id: d.From, to: d.To, v: d.Value})
+	}
+	cfg.OnAccept = func(slot int, id grid.NodeID, v radio.Value) {
+		*log = append(*log, mevent{kind: "accept", slot: slot, id: id, v: v})
+	}
+	m.OnInstanceDeliver = func(slot, instance int, from, to grid.NodeID, v radio.Value) {
+		*log = append(*log, mevent{kind: "ideliver", slot: slot, inst: instance, id: from, to: to, v: v})
+	}
+	m.OnInstanceDecide = func(slot, instance int, id grid.NodeID, v radio.Value) {
+		*log = append(*log, mevent{kind: "idecide", slot: slot, inst: instance, id: id, v: v})
+	}
+	return log
+}
+
+// multiRun is one observed multi-broadcast run of a randomized Case:
+// Result, machine stats, full event stream.
+func multiRun(c simtest.Case, m, workers int) (*sim.Result, *protocol.MultiStats, []mevent, error) {
+	cfg := c.Build()
+	mach := &protocol.Multi{Spec: cfg.Spec, M: m}
+	log := observeMulti(&cfg, mach)
+	cfg.Spec = core.Spec{}
+	cfg.Machine = mach
+	cfg.RunWorkers = workers
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, mach.TakeStats(), *log, nil
+}
+
+// TestParallelMultiOracle is the randomized parallel-vs-sequential
+// oracle for the multi-broadcast machine: for each case × M, the full
+// Report surface — engine Result, MultiStats (per-instance records,
+// batching economics), and the complete instance-tagged observer event
+// stream — must be bit-identical between workers=1 and workers 2/4/8.
+func TestParallelMultiOracle(t *testing.T) {
+	// Force every non-jam slot through the sharded path: the randomized
+	// configurations are tiny, and the point is exercising the fold.
+	defer sim.SetMinShardWork(1)()
+
+	cases := 10
+	if testing.Short() {
+		cases = 3
+	}
+	gen, err := simtest.NewGen(0x3417BCA57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cases; i++ {
+		c := gen.Next()
+		for _, m := range multiMs {
+			seqRes, seqStats, seqLog, seqErr := multiRun(c, m, 1)
+			for _, w := range workerCounts {
+				parRes, parStats, parLog, parErr := multiRun(c, m, w)
+				if (seqErr != nil) != (parErr != nil) {
+					t.Fatalf("case %d %s M=%d workers=%d: error divergence: seq=%v par=%v",
+						i, c.Desc, m, w, seqErr, parErr)
+				}
+				if seqErr != nil {
+					continue
+				}
+				if err := simtest.DiffResults(parRes, seqRes); err != nil {
+					t.Fatalf("case %d %s M=%d workers=%d: %v", i, c.Desc, m, w, err)
+				}
+				if !reflect.DeepEqual(parStats, seqStats) {
+					t.Fatalf("case %d %s M=%d workers=%d: MultiStats diverge:\nseq: %+v\npar: %+v",
+						i, c.Desc, m, w, seqStats, parStats)
+				}
+				if len(parLog) != len(seqLog) {
+					t.Fatalf("case %d %s M=%d workers=%d: %d events vs %d sequential",
+						i, c.Desc, m, w, len(parLog), len(seqLog))
+				}
+				for j := range seqLog {
+					if parLog[j] != seqLog[j] {
+						t.Fatalf("case %d %s M=%d workers=%d: event %d diverged: %+v vs %+v",
+							i, c.Desc, m, w, j, parLog[j], seqLog[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMultiM1Identity pins the two sharded seams to each other:
+// a sharded M=1 multi run must produce the same engine Result as the
+// sharded built-in threshold run of the same config — the parallel
+// extension of TestMultiM1BitIdentical.
+func TestParallelMultiM1Identity(t *testing.T) {
+	defer sim.SetMinShardWork(1)()
+
+	gen, err := simtest.NewGen(0x51AB1E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i := 0; checked < 6 && i < 48; i++ {
+		c := gen.Next()
+		for _, w := range workerCounts {
+			thrCfg := c.Build()
+			thrCfg.RunWorkers = w
+			thr, thrErr := sim.Run(thrCfg)
+
+			mulCfg := c.Build()
+			mulCfg.Machine = &protocol.Multi{Spec: mulCfg.Spec, M: 1}
+			mulCfg.Spec = core.Spec{}
+			mulCfg.RunWorkers = w
+			mul, mulErr := sim.Run(mulCfg)
+
+			if (thrErr != nil) != (mulErr != nil) {
+				t.Fatalf("case %d %s workers=%d: error divergence: threshold=%v multi=%v",
+					i, c.Desc, w, thrErr, mulErr)
+			}
+			if thrErr != nil {
+				continue
+			}
+			checked++
+			if err := simtest.DiffResults(mul, thr); err != nil {
+				t.Fatalf("case %d %s workers=%d: M=1 multi diverges from threshold: %v",
+					i, c.Desc, w, err)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no successful runs to compare")
+	}
+}
+
+// TestParallelMultiTakesShardPath proves — by counter, not timing —
+// that a forced-gate M=32 parallel multi run actually routes slots
+// through the folding shard path, and that the entry accounting carries
+// the ×M work hint.
+func TestParallelMultiTakesShardPath(t *testing.T) {
+	defer sim.SetMinShardWork(1)()
+
+	tor, err := grid.New(15, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{R: 2, T: 1, MF: 2}
+	spec, err := core.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRunner()
+	res, err := r.Run(sim.Config{
+		Topo: tor, Params: params,
+		Machine:    &protocol.Multi{Spec: spec, M: 32},
+		Seed:       9,
+		RunWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("fault-free multi run did not complete: %+v", res)
+	}
+	slots, entries := r.ShardStats()
+	if slots == 0 || entries == 0 {
+		t.Fatalf("parallel multi run never took the shard path: slots=%d entries=%d", slots, entries)
+	}
+	if entries < int64(slots)*32 {
+		t.Fatalf("entry counter missing the ×M hint: %d entries over %d shard slots", entries, slots)
+	}
+}
+
+// TestParallelMultiGateScalesByM pins the M-aware work gate at its
+// DEFAULT threshold: on the bench-scale 45×45 torus, M=32 inflates the
+// pending×degree estimate 32× past minShardWork, so slots shard — while
+// the same topology under the hint-1 threshold machine stays fully
+// sequential (its estimate peaks well under the gate). This is the
+// behavioral end of WorkHint: without it the multi run would also
+// never shard.
+func TestParallelMultiGateScalesByM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale topology")
+	}
+	tor, err := grid.New(45, 45, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{R: 2, T: 2, MF: 2}
+	spec, err := core.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := sim.NewRunner()
+	if _, err := r.Run(sim.Config{
+		Topo: tor, Params: params,
+		Machine:    &protocol.Multi{Spec: spec, M: 32},
+		Seed:       5,
+		RunWorkers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	slots, _ := r.ShardStats()
+	if slots == 0 {
+		t.Fatal("M=32 run never cleared the default work gate")
+	}
+
+	if _, err := r.Run(sim.Config{
+		Topo: tor, Params: params, Spec: spec,
+		Seed:       5,
+		RunWorkers: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if slots, _ := r.ShardStats(); slots != 0 {
+		t.Fatalf("hint-1 threshold run cleared the gate on %d slots; the gate scale test is vacuous", slots)
+	}
+}

@@ -63,6 +63,57 @@ func TestParallelRunWorkersReportParity(t *testing.T) {
 	}
 }
 
+// TestParallelBroadcastsCompose pins the WithBroadcasts × WithRunWorkers
+// composition at the engine's real work gate: M=32 inflates the slot
+// work estimate past the gate on a bench-scale torus, so the run shards
+// through the multi machine's folding seam, and the full public Report —
+// including the Multi extension's per-instance records and batching
+// economics — must match the sequential run exactly.
+func TestParallelBroadcastsCompose(t *testing.T) {
+	tor, err := bftbcast.NewTopology(bftbcast.TopologySpec{Kind: "torus", W: 45, H: 45, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bftbcast.Params{R: 2, T: 2, MF: 2}
+	spec, err := bftbcast.NewProtocolB(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := bftbcast.NewScenario(
+		bftbcast.WithTopology(tor),
+		bftbcast.WithParams(params),
+		bftbcast.WithSpec(spec),
+		bftbcast.WithBroadcasts(32),
+		bftbcast.WithSeed(17),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	seq, err := bftbcast.EngineFast.Run(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Completed || seq.Multi == nil || seq.Multi.M != 32 {
+		t.Fatalf("baseline multi run incomplete or unextended: %+v", seq)
+	}
+	for _, workers := range []int{2, 4} {
+		sc, err := base.With(bftbcast.WithRunWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := bftbcast.EngineFast.Run(ctx, sc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("workers=%d: multi Report diverged from sequential:\npar: %+v\nseq: %+v",
+				workers, par, seq)
+		}
+	}
+}
+
 func TestParallelRunWorkersValidation(t *testing.T) {
 	tor, err := bftbcast.NewTopology(bftbcast.TopologySpec{Kind: "torus", W: 15, H: 15, R: 2})
 	if err != nil {

@@ -50,9 +50,11 @@ type Scenario struct {
 	// RunWorkers > 1 shards each big slot of a fast-engine run across
 	// that many worker goroutines (in-run parallelism, DESIGN.md §11).
 	// Reports and observer streams are bit-identical to the sequential
-	// run for every worker count; 0 or 1 runs sequentially. Only the fast
-	// engine's threshold protocol path parallelizes — the reactive
-	// protocol and the other engines ignore it.
+	// run for every worker count; 0 or 1 runs sequentially. The fast
+	// engine's threshold protocol path parallelizes, with or without
+	// Broadcasts (multi-broadcast slots shard through the folding seam,
+	// DESIGN.md §12) — the reactive protocol and the other engines
+	// ignore it.
 	RunWorkers int
 	// Broadcasts is the number of concurrent broadcast instances
 	// (multi-broadcast traffic mode, DESIGN.md §12): M distinct sources

@@ -67,7 +67,11 @@ func (s *ScenarioSpec) Scenario() (*Scenario, error) {
 
 // scenarioOn builds the spec's scenario on an already-built topology
 // with the axis-varying fields overridden — the one constructor both
-// the single-Scenario and the grid-expansion paths funnel through.
+// the single-Scenario and the grid-expansion paths funnel through. It
+// fills the Scenario struct directly instead of going through the
+// functional options: grid expansion calls this once per point, and
+// the ~10 option closures per point were the dominant allocation churn
+// of job submission (BenchmarkJobThroughput).
 func (s *ScenarioSpec) scenarioOn(tp Topology, t, mf int, density float64, broadcasts int, seed uint64) (*Scenario, error) {
 	params := Params{R: tp.Range(), T: t, MF: mf}
 	if err := params.Validate(); err != nil {
@@ -76,19 +80,13 @@ func (s *ScenarioSpec) scenarioOn(tp Topology, t, mf int, density float64, broad
 		// constructor tripped over it first.
 		return nil, fmt.Errorf("%w: %w: %w", ErrBadSpec, ErrBadParams, err)
 	}
-	opts := []ScenarioOption{
-		WithTopology(tp),
-		WithParams(params),
-		WithSeed(seed),
-	}
-	if s.MaxSlots != 0 {
-		opts = append(opts, WithMaxSlots(s.MaxSlots))
-	}
-	if s.RunWorkers != 0 {
-		opts = append(opts, WithRunWorkers(s.RunWorkers))
-	}
-	if broadcasts != 0 {
-		opts = append(opts, WithBroadcasts(broadcasts))
+	sc := &Scenario{
+		Topo:       tp,
+		Params:     params,
+		Seed:       seed,
+		MaxSlots:   s.MaxSlots,
+		RunWorkers: s.RunWorkers,
+		Broadcasts: broadcasts,
 	}
 
 	reactive := s.Protocol == "reactive"
@@ -97,36 +95,33 @@ func (s *ScenarioSpec) scenarioOn(tp Topology, t, mf int, density float64, broad
 		if err != nil {
 			return nil, err
 		}
-		opts = append(opts,
-			WithProtocol(ProtocolReactive),
-			WithReactive(ReactiveSpec{MMax: s.MMax, PayloadBits: s.PayloadBits, Policy: policy}))
+		sc.Protocol = ProtocolReactive
+		sc.Reactive = ReactiveSpec{MMax: s.MMax, PayloadBits: s.PayloadBits, Policy: policy}
 	} else {
 		spec, err := s.thresholdSpec(tp, params)
 		if err != nil {
 			return nil, err
 		}
-		opts = append(opts, WithSpec(spec))
+		sc.Spec = spec
 	}
 
 	switch s.Adversary {
 	case "", "none":
 	case "random":
-		placement := RandomPlacement{T: t, Density: density, Seed: seed}
-		if reactive {
+		sc.Placement = RandomPlacement{T: t, Density: density, Seed: seed}
+		if !reactive {
 			// The reactive adversary acts through Policy, not a jamming
-			// strategy; it only needs the placement.
-			opts = append(opts, WithPlacement(placement))
-		} else {
-			// Strategies are single-run: every expanded point gets its
-			// own corruptor.
-			opts = append(opts, WithAdversary(placement, NewCorruptor()))
+			// strategy; it only needs the placement. Strategies are
+			// single-run: every expanded point gets its own corruptor.
+			sc.Strategy = NewCorruptor()
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown adversary %q (want none or random)", ErrBadSpec, s.Adversary)
 	}
 
-	sc, err := NewScenario(opts...)
-	if err != nil {
+	// validate fills the remaining defaults in place, exactly as
+	// NewScenario would on the option-built equivalent.
+	if err := sc.validate(); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSpec, err)
 	}
 	return sc, nil
@@ -271,10 +266,14 @@ func (g *GridSpec) Validate() error {
 // Scenarios expands the grid to its full point list in the documented
 // deterministic order. All points share one topology (and therefore one
 // compiled plan across all sweep workers); each point derives from the
-// base via the axis overrides and its replica seed.
+// base via the axis overrides and its replica seed. Expansion itself
+// validates every point (scenarioOn rejects malformed corners with the
+// same typed errors Validate reports), so no separate Validate pass
+// runs here — checkpoint resume re-expands grids constantly, and the
+// double expansion used to double the submission allocation bill.
 func (g *GridSpec) Scenarios() ([]*Scenario, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
+	if g.Seeds < 0 {
+		return nil, fmt.Errorf("%w: seeds %d must be >= 0", ErrBadSpec, g.Seeds)
 	}
 	tp, err := NewTopology(g.Base.Topology)
 	if err != nil {
