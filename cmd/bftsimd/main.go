@@ -9,23 +9,45 @@
 //
 //	POST /v1/jobs                submit a grid document (see GridSpec);
 //	                             202 + job status, 400 on a bad spec,
-//	                             503 when the queue is full or draining
+//	                             503 when the queue is full or draining.
+//	                             ?sharded=1 opens the job in sharded
+//	                             (lease-serving) mode; ?lease_points=
+//	                             and ?lease_ttl= tune the geometry
 //	GET  /v1/jobs                list all known jobs, submission order
 //	GET  /v1/jobs/{id}           one job's status + aggregate summary
 //	GET  /v1/jobs/{id}/results   NDJSON live tail: one line per point,
 //	                             then a final {"summary": ...} line
 //	POST /v1/jobs/{id}/cancel    cancel a queued or running job
+//	POST /v1/jobs/{id}/lease     pull the next open range of a sharded
+//	                             job (200 grant, 204 none open now,
+//	                             410 job finished)
+//	POST /v1/jobs/{id}/partial   deliver a completed range's records
+//	GET  /v1/jobs/{id}/aggregate raw aggregate state bytes
 //	GET  /healthz                liveness
 //
-// SIGTERM/SIGINT drain gracefully: running jobs are checkpointed and
-// parked, queued jobs stay queued, and a daemon restarted on the same
-// -dir picks all of them up where they stopped.
+// Sharded mode partitions a grid's deterministic point list into
+// contiguous lease ranges that any number of workers pull, execute and
+// post back; the coordinator folds partials in global point order, so
+// the final aggregate is byte-identical to an unsharded run. Leases
+// carry deadlines: a worker that dies mid-range simply lets its lease
+// expire and the range is re-issued (points are deterministic and
+// idempotent). `bftsimd -worker -coordinator URL` is the matching pull
+// worker; `-shard-executors K` runs K in-process workers through the
+// same protocol on one box.
 //
-// Example:
+// SIGTERM/SIGINT drain gracefully: running jobs are checkpointed and
+// parked, queued jobs stay queued (sharded jobs keep their completed
+// ranges), and a daemon restarted on the same -dir picks all of them
+// up where they stopped. -retain/-retain-age garbage-collect terminal
+// job checkpoints.
+//
+// Example (one coordinator, two remote workers):
 //
 //	bftsimd -addr 127.0.0.1:8580 -dir /var/tmp/bftsimd &
-//	curl -s -X POST --data-binary @grid.json localhost:8580/v1/jobs
-//	curl -sN localhost:8580/v1/jobs/<id>/results
+//	bftsimd -worker -coordinator http://127.0.0.1:8580 &
+//	bftsimd -worker -coordinator http://127.0.0.1:8580 &
+//	curl -s -X POST --data-binary @grid.json 'localhost:8580/v1/jobs?sharded=1'
+//	curl -s localhost:8580/v1/jobs/<id>/aggregate
 package main
 
 import (
@@ -39,6 +61,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -60,14 +83,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bftsimd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:8580", "listen address (port 0 picks a free port)")
-		dir        = fs.String("dir", "bftsimd-jobs", "checkpoint directory; reopening resumes its jobs")
-		engineName = fs.String("engine", "fast", "execution backend: fast | ref | actor")
-		workers    = fs.Int("workers", 0, "sweep worker pool (0 = NumCPU)")
-		queue      = fs.Int("queue", 64, "queued-job capacity; beyond it submissions get 503")
-		inflight   = fs.Int("inflight", 1, "jobs running concurrently")
-		ckptEvery  = fs.Int("checkpoint-every", 64, "checkpoint cadence in completed points")
-		drainAfter = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+		addr         = fs.String("addr", "127.0.0.1:8580", "listen address (port 0 picks a free port)")
+		dir          = fs.String("dir", "bftsimd-jobs", "checkpoint directory; reopening resumes its jobs")
+		engineName   = fs.String("engine", "fast", "execution backend: fast | ref | actor")
+		workers      = fs.Int("workers", 0, "sweep worker pool (0 = NumCPU)")
+		queue        = fs.Int("queue", 64, "queued-job capacity; beyond it submissions get 503")
+		inflight     = fs.Int("inflight", 1, "jobs running concurrently")
+		ckptEvery    = fs.Int("checkpoint-every", 64, "checkpoint cadence in completed points")
+		ckptInterval = fs.Duration("checkpoint-interval", 250*time.Millisecond, "min time between mid-run checkpoint writes (negative = every count)")
+		drainAfter   = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+
+		shardExecutors = fs.Int("shard-executors", 0, "in-process executors pulling leases of sharded jobs")
+		leasePoints    = fs.Int("lease-points", 64, "default points per lease for sharded submissions")
+		leaseTTL       = fs.Duration("lease-ttl", 30*time.Second, "default lease deadline; expired leases re-issue")
+		retain         = fs.Int("retain", 0, "keep at most N terminal job checkpoints (0 = all)")
+		retainAge      = fs.Duration("retain-age", 0, "expire terminal job checkpoints older than this (0 = never)")
+
+		workerMode  = fs.Bool("worker", false, "run as a pull worker of -coordinator instead of a daemon")
+		coordinator = fs.String("coordinator", "", "coordinator base URL for -worker mode")
+		workerID    = fs.String("worker-id", "", "worker name reported on leases (default host-pid)")
+		poll        = fs.Duration("poll", 500*time.Millisecond, "worker idle poll interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,13 +111,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *workerMode {
+		if *coordinator == "" {
+			return errors.New("-worker requires -coordinator URL")
+		}
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runWorker(ctx, stdout, stderr, *coordinator, id, eng, *workers, *poll)
+	}
 	mgr, err := jobs.Open(jobs.Config{
-		Dir:             *dir,
-		Engine:          eng,
-		Workers:         *workers,
-		MaxQueue:        *queue,
-		MaxRunning:      *inflight,
-		CheckpointEvery: *ckptEvery,
+		Dir:                *dir,
+		Engine:             eng,
+		Workers:            *workers,
+		MaxQueue:           *queue,
+		MaxRunning:         *inflight,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointInterval: *ckptInterval,
+		ShardExecutors:     *shardExecutors,
+		Retain:             *retain,
+		RetainAge:          *retainAge,
 	})
 	if err != nil {
 		return err
@@ -93,7 +145,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		drain(mgr, *drainAfter)
 		return err
 	}
-	srv := &http.Server{Handler: newHandler(mgr)}
+	srv := &http.Server{Handler: newHandler(mgr, *leasePoints, *leaseTTL)}
 	fmt.Fprintf(stdout, "bftsimd listening on %s (checkpoints in %s)\n", ln.Addr(), *dir)
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -129,11 +181,15 @@ func drain(mgr *jobs.Manager, budget time.Duration) error {
 // server exposes one Manager over HTTP.
 type server struct {
 	mgr *jobs.Manager
+	// leasePoints/leaseTTL are the sharded-submission defaults, which
+	// ?lease_points= and ?lease_ttl= override per job.
+	leasePoints int
+	leaseTTL    time.Duration
 }
 
 // newHandler routes the daemon's API onto a manager.
-func newHandler(mgr *jobs.Manager) http.Handler {
-	s := &server{mgr: mgr}
+func newHandler(mgr *jobs.Manager, leasePoints int, leaseTTL time.Duration) http.Handler {
+	s := &server{mgr: mgr, leasePoints: leasePoints, leaseTTL: leaseTTL}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.health)
 	mux.HandleFunc("POST /v1/jobs", s.submit)
@@ -141,6 +197,9 @@ func newHandler(mgr *jobs.Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.results)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/lease", s.lease)
+	mux.HandleFunc("POST /v1/jobs/{id}/partial", s.partial)
+	mux.HandleFunc("GET /v1/jobs/{id}/aggregate", s.aggregate)
 	return mux
 }
 
@@ -162,7 +221,30 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.mgr.Submit(grid)
+	var job *jobs.Job
+	q := r.URL.Query()
+	if v := q.Get("sharded"); v != "" && v != "0" {
+		opts := jobs.ShardOptions{LeasePoints: s.leasePoints, LeaseTTL: s.leaseTTL}
+		if v := q.Get("lease_points"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad lease_points %q", v))
+				return
+			}
+			opts.LeasePoints = n
+		}
+		if v := q.Get("lease_ttl"); v != "" {
+			d, perr := time.ParseDuration(v)
+			if perr != nil || d <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad lease_ttl %q", v))
+				return
+			}
+			opts.LeaseTTL = d
+		}
+		job, err = s.mgr.SubmitSharded(grid, opts)
+	} else {
+		job, err = s.mgr.Submit(grid)
+	}
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -205,6 +287,94 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// lease grants the next open range of a sharded job: 200 with a
+// LeaseGrant, 204 when nothing is open right now (poll again — an
+// expiring lease may reopen a range), 410 when the job is terminal,
+// 409 for a FIFO job, 503 while draining.
+func (s *server) lease(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Worker string `json:"worker"`
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<10))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	grant, err := s.mgr.Lease(r.PathValue("id"), req.Worker)
+	switch {
+	case errors.Is(err, jobs.ErrNoWork):
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, jobs.ErrJobDone):
+		writeError(w, http.StatusGone, err)
+	case errors.Is(err, jobs.ErrNotSharded):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, grant)
+	}
+}
+
+// partial accepts a worker's completed range. 200 covers the
+// idempotent no-ops too (duplicate completion, already-terminal job);
+// 400 is a malformed partial, the client's fault.
+func (s *server) partial(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var p jobs.Partial
+	if err := json.Unmarshal(body, &p); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	err = s.mgr.CompleteLease(r.PathValue("id"), p)
+	switch {
+	case errors.Is(err, jobs.ErrBadPartial):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, jobs.ErrNotSharded):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}
+}
+
+// aggregate returns the job's raw aggregate state — the exact bytes
+// the byte-identity acceptance compares between sharded and unsharded
+// runs (Status rounds through float formatting; this does not).
+func (s *server) aggregate(w http.ResponseWriter, r *http.Request) {
+	job, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	data, err := job.AggregateJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 // resultsSummary is the final NDJSON line of a results stream.

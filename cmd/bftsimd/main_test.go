@@ -51,7 +51,7 @@ func newTestServer(t *testing.T, cfg jobs.Config) (*httptest.Server, *jobs.Manag
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(mgr))
+	ts := httptest.NewServer(newHandler(mgr, 64, 30*time.Second))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -246,6 +246,192 @@ func TestHandlerBackpressureAndCancel(t *testing.T) {
 			t.Fatalf("running job never cancelled: %+v", st)
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitState polls a job's status endpoint until it reaches state.
+func waitState(t *testing.T, base, id string, state jobs.State) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeStatus(t, resp.Body)
+		resp.Body.Close()
+		if st.State == state {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %+v, want state %q", id, st, state)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// getAggregate fetches a job's raw aggregate bytes.
+func getAggregate(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/aggregate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("aggregate status = %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.TrimSpace(data)
+}
+
+// TestHandlerShardedLifecycle drives the lease protocol over real
+// HTTP: sharded submit, lease/partial loop to completion, and the raw
+// aggregate equal to the unsharded run of the same grid — plus the
+// endpoints' error statuses.
+func TestHandlerShardedLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 2})
+
+	// Unsharded control of the identical grid.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(gridDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	waitState(t, ts.URL, control.ID, jobs.StateDone)
+	want := getAggregate(t, ts.URL, control.ID)
+
+	resp, err = http.Post(ts.URL+"/v1/jobs?sharded=1&lease_points=1&lease_ttl=10s",
+		"application/json", strings.NewReader(gridDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sharded submit status = %d", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	if !st.Sharded || st.State != jobs.StateRunning {
+		t.Fatalf("sharded submit returned %+v", st)
+	}
+
+	spec, err := bftbcast.DecodeGridSpec([]byte(gridDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := bftbcast.NewTopology(spec.Base.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leases := 0
+	for {
+		resp, err := http.Post(ts.URL+"/v1/jobs/"+st.ID+"/lease", "application/json",
+			strings.NewReader(`{"worker":"t"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusGone {
+			resp.Body.Close()
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("lease status = %d after %d leases", resp.StatusCode, leases)
+		}
+		var g jobs.LeaseGrant
+		if err := json.NewDecoder(resp.Body).Decode(&g); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		leases++
+		recs, err := jobs.RunRange(context.Background(), bftbcast.EngineFast, 1, g.JobID, spec, tp, g.Lo, g.Hi, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(jobs.Partial{LeaseID: g.LeaseID, Worker: "t", Lo: g.Lo, Hi: g.Hi, Points: recs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err = http.Post(ts.URL+"/v1/jobs/"+st.ID+"/partial", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("partial status = %d", resp.StatusCode)
+		}
+	}
+	if leases != st.Total {
+		t.Fatalf("leased %d ranges of %d single-point leases", leases, st.Total)
+	}
+	final := waitState(t, ts.URL, st.ID, jobs.StateDone)
+	if final.Aggregate.Done != int64(st.Total) {
+		t.Fatalf("final status = %+v", final)
+	}
+	if got := getAggregate(t, ts.URL, st.ID); !bytes.Equal(got, want) {
+		t.Fatalf("sharded aggregate over HTTP diverged:\n%s\nvs\n%s", got, want)
+	}
+
+	for _, tc := range []struct {
+		path, body string
+		want       int
+	}{
+		{"/v1/jobs/" + control.ID + "/lease", `{"worker":"t"}`, http.StatusConflict},
+		{"/v1/jobs/jdoesnotexist/lease", `{}`, http.StatusNotFound},
+		{"/v1/jobs/" + st.ID + "/lease", `{}`, http.StatusGone},
+		{"/v1/jobs/" + st.ID + "/partial", `not json`, http.StatusBadRequest},
+		{"/v1/jobs/" + control.ID + "/partial", `{"lo":0,"hi":1}`, http.StatusConflict},
+		{"/v1/jobs?sharded=1&lease_points=zap", gridDoc, http.StatusBadRequest},
+		{"/v1/jobs?sharded=1&lease_ttl=never", gridDoc, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("POST %s: status %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestWorkerEndToEnd runs the real pull worker against a live server:
+// it drains a sharded grid, the aggregate matches the unsharded run,
+// and cancelling its context exits the loop cleanly.
+func TestWorkerEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 2})
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(gridDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	control := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+	waitState(t, ts.URL, control.ID, jobs.StateDone)
+	want := getAggregate(t, ts.URL, control.ID)
+
+	resp, err = http.Post(ts.URL+"/v1/jobs?sharded=1&lease_points=1", "application/json", strings.NewReader(gridDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeStatus(t, resp.Body)
+	resp.Body.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- runWorker(ctx, io.Discard, io.Discard, ts.URL, "w-e2e", bftbcast.EngineFast, 1, 5*time.Millisecond)
+	}()
+	waitState(t, ts.URL, st.ID, jobs.StateDone)
+	cancel()
+	if err := <-workerErr; err != nil {
+		t.Fatalf("worker exit: %v", err)
+	}
+	if got := getAggregate(t, ts.URL, st.ID); !bytes.Equal(got, want) {
+		t.Fatalf("worker-driven aggregate diverged:\n%s\nvs\n%s", got, want)
 	}
 }
 

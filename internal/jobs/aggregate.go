@@ -49,24 +49,36 @@ func NewAggregate() *Aggregate {
 
 // Add folds one point's report into the aggregate.
 func (a *Aggregate) Add(rep *bftbcast.Report) {
+	a.AddRecord(reportRecord(rep))
+}
+
+// AddRecord folds one point's record into the aggregate. A PointRecord
+// carries exactly the report fields the aggregate consumes, and JSON
+// round-trips its float field losslessly — so a record folded here
+// after a network hop produces the same float state as folding the
+// report locally. The sharded lease protocol leans on that: partials
+// carry records, and the coordinator replays them in global point
+// order through this one fold, making a sharded run's aggregate
+// byte-identical to an unsharded sequential run's.
+func (a *Aggregate) AddRecord(rec PointRecord) {
 	a.Done++
-	if rep.Completed {
+	if rec.Completed {
 		a.Completed++
-		a.SlotsToDecide.Add(float64(rep.Slots))
+		a.SlotsToDecide.Add(float64(rec.Slots))
 	}
-	if rep.Stalled {
+	if rec.Stalled {
 		a.Stalled++
 	}
-	if rep.TimedOut {
+	if rec.TimedOut {
 		a.TimedOut++
 	}
-	a.WrongDecisions += int64(rep.WrongDecisions)
-	a.DecidedGood += int64(rep.DecidedGood)
-	a.TotalGood += int64(rep.TotalGood)
-	a.Slots.Add(float64(rep.Slots))
-	a.GoodMessages.Add(float64(rep.GoodMessages))
-	a.BadMessages.Add(float64(rep.BadMessages))
-	a.AvgSends.Add(rep.AvgGoodSends)
+	a.WrongDecisions += int64(rec.WrongDecisions)
+	a.DecidedGood += int64(rec.DecidedGood)
+	a.TotalGood += int64(rec.TotalGood)
+	a.Slots.Add(float64(rec.Slots))
+	a.GoodMessages.Add(float64(rec.GoodMessages))
+	a.BadMessages.Add(float64(rec.BadMessages))
+	a.AvgSends.Add(rec.AvgGoodSends)
 }
 
 // Merge folds another aggregate into the receiver; o is unchanged.

@@ -1,0 +1,128 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"bftbcast"
+)
+
+// benchGrid is the 64-point grid shared with BenchmarkJobThroughput,
+// so the sharded numbers are directly comparable to the FIFO ones.
+func benchGrid() *bftbcast.GridSpec {
+	grid := smallGrid(9, 16)
+	grid.T = []int{1, 2}
+	grid.MF = []int{1, 2}
+	return grid
+}
+
+// timeShardedGrid runs one whole grid through a fresh manager and
+// returns the wall time plus the final aggregate bytes. executors=0
+// means the plain FIFO path with one worker — the baseline the
+// lease-protocol overhead is gated against.
+func timeShardedGrid(b *testing.B, executors int) (time.Duration, []byte) {
+	b.Helper()
+	cfg := Config{Dir: b.TempDir(), Workers: 1, MaxQueue: 64, ShardExecutors: executors}
+	m, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = m.Close(ctx)
+	}()
+	grid := benchGrid()
+	start := time.Now()
+	var job *Job
+	if executors > 0 {
+		job, err = m.SubmitSharded(grid, ShardOptions{LeasePoints: 4})
+	} else {
+		job, err = m.Submit(grid)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	agg, err := job.AggregateJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return elapsed, agg
+}
+
+// minGridTime takes the fastest of three whole-grid samples, which is
+// enough to reject scheduler noise on a loaded box.
+func minGridTime(b *testing.B, executors int) (time.Duration, []byte) {
+	b.Helper()
+	best, agg := timeShardedGrid(b, executors)
+	for i := 0; i < 2; i++ {
+		if d, _ := timeShardedGrid(b, executors); d < best {
+			best = d
+		}
+	}
+	return best, agg
+}
+
+// BenchmarkShardedGridThroughput measures the in-process sharded path
+// (local executors pulling leases) against the FIFO scheduler on the
+// same 64-point grid. Two assertions ride along on every run:
+//
+//   - overhead gate: one executor pulling 4-point leases must finish a
+//     grid within 10% of the unsharded single-worker run — the lease
+//     protocol, reorder buffer and per-range checkpoints are not
+//     allowed to tax a trivial deployment;
+//   - scaling: four executors must beat one (skipped on GOMAXPROCS=1,
+//     where extra executors cannot help).
+func BenchmarkShardedGridThroughput(b *testing.B) {
+	base, wantAgg := minGridTime(b, 0)
+	one, gotAgg := minGridTime(b, 1)
+	if !bytes.Equal(gotAgg, wantAgg) {
+		b.Fatalf("sharded aggregate diverged from unsharded:\n%s\nvs\n%s", gotAgg, wantAgg)
+	}
+	if ratio := one.Seconds() / base.Seconds(); ratio > 1.10 {
+		b.Fatalf("lease-protocol overhead gate: sharded executors=1 took %.2fx the unsharded run (%v vs %v), want <= 1.10",
+			ratio, one, base)
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		four, _ := minGridTime(b, 4)
+		if four >= one {
+			b.Fatalf("sharding did not scale: executors=4 took %v, executors=1 took %v", four, one)
+		}
+	}
+
+	grid := benchGrid()
+	points := grid.NPoints()
+	for _, executors := range []int{1, 4} {
+		b.Run(fmt.Sprintf("executors=%d", executors), func(b *testing.B) {
+			m, err := Open(Config{Dir: b.TempDir(), Workers: 1, MaxQueue: 1024, ShardExecutors: executors})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				_ = m.Close(ctx)
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				job, err := m.SubmitSharded(grid, ShardOptions{LeasePoints: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := job.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}

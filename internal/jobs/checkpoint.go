@@ -23,6 +23,33 @@ type checkpoint struct {
 	Spec      json.RawMessage `json:"spec"`
 	Err       string          `json:"err,omitempty"`
 	Aggregate *Aggregate      `json:"aggregate"`
+	// FinishedNS is the terminal-state wall time in UnixNano (0 while
+	// non-terminal) — what the retention sweep ages against.
+	FinishedNS int64 `json:"finished_ns,omitempty"`
+	// Shard marks a sharded job and records its lease geometry plus the
+	// ranges completed out of order (the reorder buffer), so a restarted
+	// coordinator resumes without rescheduling completed ranges.
+	// Outstanding leases are deliberately NOT persisted: a restarted
+	// coordinator simply re-issues open ranges, and a late partial from
+	// a pre-restart lease still folds because completion is keyed by
+	// range, not lease.
+	Shard *shardCheckpoint `json:"shard,omitempty"`
+}
+
+// shardCheckpoint is the sharded half of a checkpoint. Aggregate.Done
+// remains the fold cursor (always a range boundary); Pending holds the
+// completed-but-unfoldable ranges ahead of it.
+type shardCheckpoint struct {
+	LeasePoints int            `json:"lease_points"`
+	LeaseTTLMS  int64          `json:"lease_ttl_ms"`
+	Pending     []pendingRange `json:"pending,omitempty"`
+}
+
+// pendingRange is one out-of-order completed range with its records.
+type pendingRange struct {
+	Lo     int           `json:"lo"`
+	Hi     int           `json:"hi"`
+	Points []PointRecord `json:"points"`
 }
 
 func checkpointPath(dir, id string) string {

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"sync"
+	"time"
 
 	"bftbcast"
 )
@@ -66,10 +67,15 @@ type PointRecord struct {
 
 // pointRecord digests one sweep point (pt.Report must be non-nil).
 func pointRecord(jobID string, pt bftbcast.SweepPoint) PointRecord {
-	rep := pt.Report
+	rec := reportRecord(pt.Report)
+	rec.Job = jobID
+	rec.Index = pt.Index
+	return rec
+}
+
+// reportRecord digests a report's aggregate-relevant fields.
+func reportRecord(rep *bftbcast.Report) PointRecord {
 	return PointRecord{
-		Job:            jobID,
-		Index:          pt.Index,
 		Completed:      rep.Completed,
 		Stalled:        rep.Stalled,
 		TimedOut:       rep.TimedOut,
@@ -90,6 +96,9 @@ type Status struct {
 	// Total is the job's point count; Aggregate.Done of them are done.
 	Total int    `json:"total"`
 	Err   string `json:"err,omitempty"`
+	// Sharded marks a lease-serving job: workers pull ranges of it via
+	// the lease endpoints instead of the manager running it FIFO.
+	Sharded bool `json:"sharded,omitempty"`
 
 	Aggregate Summary `json:"aggregate"`
 }
@@ -107,8 +116,10 @@ type Job struct {
 	mu         sync.Mutex
 	state      State
 	agg        *Aggregate
+	shard      *shardState // non-nil for lease-serving (sharded) jobs
 	errMsg     string
 	userCancel bool
+	finishedAt time.Time          // set on terminal state (retention age)
 	cancel     context.CancelFunc // set while running
 	subs       []*Subscriber
 	finished   chan struct{} // closed on terminal state
@@ -129,6 +140,7 @@ func (j *Job) Status() Status {
 		State:     j.state,
 		Total:     j.total,
 		Err:       j.errMsg,
+		Sharded:   j.shard != nil,
 		Aggregate: j.agg.Summary(),
 	}
 }

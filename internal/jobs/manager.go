@@ -10,6 +10,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bftbcast"
 )
@@ -46,6 +48,27 @@ type Config struct {
 	// StreamBuffer bounds each running sweep's result channel (<= 0
 	// means 16), keeping a job's undrained-report retention constant.
 	StreamBuffer int
+	// CheckpointInterval coalesces mid-run checkpoint fsyncs: once the
+	// CheckpointEvery point count is reached, the write still waits
+	// until this much wall time has passed since the last one (0 means
+	// 250ms; negative disables coalescing — pure count cadence). Fast
+	// jobs stop paying an fsync per CheckpointEvery points; the crash
+	// recompute bound loosens to the points done in one interval.
+	CheckpointInterval time.Duration
+	// ShardExecutors runs this many in-process lease executors: local
+	// workers that pull ranges of sharded jobs through the same lease
+	// protocol remote daemons use, giving one multi-core box grid-level
+	// scaling through a single code path (0 means none).
+	ShardExecutors int
+	// Retain, when > 0, bounds how many terminal jobs are kept: the
+	// retention sweep deletes the oldest-finished checkpoints beyond it.
+	Retain int
+	// RetainAge, when > 0, expires terminal jobs finished longer ago
+	// than this. Retain and RetainAge compose; either alone works.
+	RetainAge time.Duration
+	// Now is the manager's clock (nil means time.Now) — a test seam for
+	// lease expiry and retention aging.
+	Now func() time.Time
 	// Observe, when set, attaches Observe(jobID, pointIndex) as the
 	// Observer of every point the manager actually runs — a test seam
 	// for asserting that resumed jobs recompute no completed point.
@@ -71,6 +94,12 @@ func (c *Config) fill() error {
 	if c.StreamBuffer <= 0 {
 		c.StreamBuffer = 16
 	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 250 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return nil
 }
 
@@ -81,16 +110,40 @@ type Manager struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	jobs    map[string]*Job
-	queue   []*Job
-	nextSeq uint64
-	running int
-	closed  bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	shardCond *sync.Cond // wakes idle shard executors
+	shardGen  uint64     // bumped whenever shard work may have appeared
+	jobs      map[string]*Job
+	queue     []*Job
+	nextSeq   uint64
+	running   int
+	closed    bool
+
+	// ckptWrites counts checkpoint files written — the coalescing
+	// tests' observation seam.
+	ckptWrites atomic.Int64
 
 	wg        sync.WaitGroup
 	schedDone chan struct{}
+}
+
+// now reads the manager's clock.
+func (m *Manager) now() time.Time { return m.cfg.Now() }
+
+// intervalElapsed reports whether enough wall time passed since *last
+// for another mid-run checkpoint, advancing *last when so. A negative
+// CheckpointInterval disables coalescing.
+func (m *Manager) intervalElapsed(last *time.Time) bool {
+	if m.cfg.CheckpointInterval < 0 {
+		return true
+	}
+	now := m.now()
+	if now.Sub(*last) < m.cfg.CheckpointInterval {
+		return false
+	}
+	*last = now
+	return true
 }
 
 // Open creates (or reopens) a manager on cfg.Dir. Checkpointed jobs
@@ -117,6 +170,7 @@ func Open(cfg Config) (*Manager, error) {
 		schedDone:  make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.shardCond = sync.NewCond(&m.mu)
 	for _, cp := range cps {
 		spec, err := bftbcast.DecodeGridSpec(cp.Spec)
 		if err != nil {
@@ -135,9 +189,23 @@ func Open(cfg Config) (*Manager, error) {
 			errMsg:   cp.Err,
 			finished: make(chan struct{}),
 		}
-		if cp.State.Terminal() {
+		if cp.FinishedNS > 0 {
+			job.finishedAt = time.Unix(0, cp.FinishedNS)
+		}
+		if cp.Shard != nil {
+			if err := restoreShard(job, cp); err != nil {
+				cancel()
+				return nil, err
+			}
+		}
+		switch {
+		case cp.State.Terminal():
 			close(job.finished)
-		} else {
+		case job.shard != nil:
+			// A sharded job resumes serving leases immediately — it never
+			// sits in the FIFO queue; workers pulling ranges drive it.
+			job.state = StateRunning
+		default:
 			// A job checkpointed as running died with its daemon; it is
 			// queued again and resumes at its aggregate's offset.
 			job.state = StateQueued
@@ -149,7 +217,62 @@ func Open(cfg Config) (*Manager, error) {
 		}
 	}
 	go m.schedule()
+	for i := 0; i < cfg.ShardExecutors; i++ {
+		m.wg.Add(1)
+		go m.runExecutor(i)
+	}
+	if cfg.ShardExecutors > 0 || cfg.Retain > 0 || cfg.RetainAge > 0 {
+		m.wg.Add(1)
+		go m.tick()
+	}
 	return m, nil
+}
+
+// restoreShard rebuilds a sharded job's coordinator state from its
+// checkpoint: the fold cursor at the aggregate's offset plus the
+// out-of-order completed ranges. Leases are not restored — open ranges
+// are simply re-issued, and late partials from pre-restart leases
+// still fold because completion is keyed by range.
+func restoreShard(job *Job, cp *checkpoint) error {
+	opts := ShardOptions{
+		LeasePoints: cp.Shard.LeasePoints,
+		LeaseTTL:    time.Duration(cp.Shard.LeaseTTLMS) * time.Millisecond,
+	}
+	if opts.LeasePoints <= 0 {
+		return fmt.Errorf("jobs: checkpoint %s: bad lease geometry %d", cp.ID, opts.LeasePoints)
+	}
+	sh := newShardState(job.total, opts)
+	done := int(cp.Aggregate.Done)
+	if done < 0 || done > job.total || (done%sh.opts.LeasePoints != 0 && done != job.total) {
+		return fmt.Errorf("jobs: checkpoint %s: fold cursor %d off the range grid", cp.ID, done)
+	}
+	sh.cursor.Done = done
+	for _, pr := range cp.Shard.Pending {
+		if !sh.cursor.MarkPending(pr.Lo) || len(pr.Points) != pr.Hi-pr.Lo {
+			return fmt.Errorf("jobs: checkpoint %s: bad pending range [%d,%d)", cp.ID, pr.Lo, pr.Hi)
+		}
+		sh.pending[pr.Lo] = pr.Points
+	}
+	job.shard = sh
+	return nil
+}
+
+// tick is the shard/retention heartbeat: it wakes idle executors (an
+// expired lease only reopens lazily, on the next lease scan) and runs
+// the retention sweep, once a second until the manager closes.
+func (m *Manager) tick() {
+	defer m.wg.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case <-t.C:
+			m.shardWake()
+			m.sweepRetention()
+		}
+	}
 }
 
 // Submit validates the grid, persists it as a queued checkpoint and
@@ -159,6 +282,12 @@ func Open(cfg Config) (*Manager, error) {
 // manager; validation failures pass through the spec's typed errors
 // (bftbcast.ErrBadSpec et al.).
 func (m *Manager) Submit(spec *bftbcast.GridSpec) (*Job, error) {
+	return m.submit(spec, nil)
+}
+
+// submit is the shared submission path; a non-nil shard opens the job
+// in sharded (lease-serving) mode instead of the FIFO queue.
+func (m *Manager) submit(spec *bftbcast.GridSpec, shard *ShardOptions) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -178,7 +307,7 @@ func (m *Manager) Submit(spec *bftbcast.GridSpec) (*Job, error) {
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if len(m.queue) >= m.cfg.MaxQueue {
+	if shard == nil && len(m.queue) >= m.cfg.MaxQueue {
 		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
@@ -198,6 +327,10 @@ func (m *Manager) Submit(spec *bftbcast.GridSpec) (*Job, error) {
 		agg:      NewAggregate(),
 		finished: make(chan struct{}),
 	}
+	if shard != nil {
+		job.shard = newShardState(job.total, *shard)
+		job.state = StateRunning // lease-serving from the first request
+	}
 	m.nextSeq++
 	m.jobs[id] = job
 	m.mu.Unlock()
@@ -212,9 +345,18 @@ func (m *Manager) Submit(spec *bftbcast.GridSpec) (*Job, error) {
 	}
 
 	m.mu.Lock()
-	m.queue = append(m.queue, job)
-	m.cond.Signal()
+	if shard == nil {
+		m.queue = append(m.queue, job)
+		m.cond.Signal()
+	} else {
+		m.shardGen++
+		m.shardCond.Broadcast()
+	}
 	m.mu.Unlock()
+	if shard != nil && job.total == 0 {
+		// A degenerate empty grid has no range to lease; finish it here.
+		m.finishJob(job, StateDone, nil)
+	}
 	return job, nil
 }
 
@@ -288,6 +430,7 @@ func (m *Manager) Close(ctx context.Context) error {
 	} else {
 		m.closed = true
 		m.cond.Broadcast()
+		m.shardCond.Broadcast()
 		m.mu.Unlock()
 		m.baseCancel()
 	}
@@ -295,6 +438,21 @@ func (m *Manager) Close(ctx context.Context) error {
 	go func() {
 		<-m.schedDone
 		m.wg.Wait()
+		// Sharded jobs have no runner to park them: once the executors
+		// and any remote partial folds have stopped (closed rejects
+		// CompleteLease), park each live one so its reorder buffer
+		// survives to the next Open.
+		m.mu.Lock()
+		sharded := m.shardedJobsLocked()
+		m.mu.Unlock()
+		for _, job := range sharded {
+			job.mu.Lock()
+			terminal := job.state.Terminal()
+			job.mu.Unlock()
+			if !terminal {
+				m.parkJob(job)
+			}
+		}
 		close(done)
 	}()
 	select {
@@ -357,17 +515,16 @@ func (m *Manager) runJob(job *Job) {
 		return
 	}
 
-	scenarios, err := job.spec.Scenarios()
+	// Expand only the tail still to run — a deep resume of a large grid
+	// does not pay for the completed prefix's scenarios.
+	scenarios, err := job.spec.Scenarios(skip, job.total)
 	if err != nil {
 		m.finishJob(job, StateFailed, err)
 		return
 	}
-	if skip > len(scenarios) {
-		skip = len(scenarios)
-	}
 	if m.cfg.Observe != nil {
-		for i := skip; i < len(scenarios); i++ {
-			sc, err := scenarios[i].With(bftbcast.WithObserver(m.cfg.Observe(job.id, i)))
+		for i := range scenarios {
+			sc, err := scenarios[i].With(bftbcast.WithObserver(m.cfg.Observe(job.id, skip+i)))
 			if err != nil {
 				m.finishJob(job, StateFailed, err)
 				return
@@ -379,12 +536,13 @@ func (m *Manager) runJob(job *Job) {
 	sweep := &bftbcast.Sweep{
 		Engine:    m.cfg.Engine,
 		Workers:   m.cfg.Workers,
-		Scenarios: scenarios[skip:],
+		Scenarios: scenarios,
 		Buffer:    m.cfg.StreamBuffer,
 	}
 	stream := sweep.Stream(ctx)
 	var runErr error
 	since, received := 0, 0
+	lastCkpt := m.now()
 	for pt := range stream {
 		if pt.Err != nil {
 			runErr = pt.Err
@@ -398,7 +556,7 @@ func (m *Manager) runJob(job *Job) {
 		job.mu.Unlock()
 		received++
 		since++
-		if since >= m.cfg.CheckpointEvery {
+		if since >= m.cfg.CheckpointEvery && m.intervalElapsed(&lastCkpt) {
 			since = 0
 			if err := m.checkpointJob(job); err != nil {
 				runErr = err
@@ -418,7 +576,7 @@ func (m *Manager) runJob(job *Job) {
 	user := job.userCancel
 	job.mu.Unlock()
 	switch {
-	case runErr == nil && received == len(scenarios)-skip:
+	case runErr == nil && received == len(scenarios):
 		m.finishJob(job, StateDone, nil)
 	case user:
 		m.finishJob(job, StateCancelled, nil)
@@ -433,16 +591,22 @@ func (m *Manager) runJob(job *Job) {
 		// here means the stream ended early with no cancellation in
 		// sight — fail loudly rather than record a partial job as done.
 		m.finishJob(job, StateFailed,
-			fmt.Errorf("jobs: stream ended after %d of %d points", received, len(scenarios)-skip))
+			fmt.Errorf("jobs: stream ended after %d of %d points", received, len(scenarios)))
 	}
 }
 
 // finishJob moves a job to a terminal state, ends its live tails and
-// checkpoints the final record.
+// checkpoints the final record. Idempotent: the sharded path can race
+// a final-range fold against Cancel, and only the first finisher wins.
 func (m *Manager) finishJob(job *Job, state State, runErr error) {
 	job.mu.Lock()
+	if job.state.Terminal() {
+		job.mu.Unlock()
+		return
+	}
 	job.state = state
 	job.cancel = nil
+	job.finishedAt = m.now()
 	if runErr != nil {
 		job.errMsg = runErr.Error()
 	}
@@ -478,12 +642,27 @@ func (m *Manager) checkpointJob(job *Job) error {
 		Err:       job.errMsg,
 		Aggregate: job.agg,
 	}
+	if !job.finishedAt.IsZero() {
+		cp.FinishedNS = job.finishedAt.UnixNano()
+	}
+	if sh := job.shard; sh != nil {
+		sc := &shardCheckpoint{
+			LeasePoints: sh.opts.LeasePoints,
+			LeaseTTLMS:  sh.opts.LeaseTTL.Milliseconds(),
+		}
+		for _, lo := range sh.cursor.Pending {
+			hi, _ := sh.cursor.Bounds(lo)
+			sc.Pending = append(sc.Pending, pendingRange{Lo: lo, Hi: hi, Points: sh.pending[lo]})
+		}
+		cp.Shard = sc
+	}
 	// Marshal under the lock: the aggregate mutates as points land.
 	data, err := json.Marshal(cp)
 	job.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("jobs: encode checkpoint %s: %w", job.id, err)
 	}
+	m.ckptWrites.Add(1)
 	return writeCheckpointBytes(m.cfg.Dir, job.id, data)
 }
 

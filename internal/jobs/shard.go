@@ -1,0 +1,431 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bftbcast"
+	"bftbcast/internal/stats"
+)
+
+var (
+	// ErrNoWork tells a leasing worker the job has no open range right
+	// now — everything is folded, pending or leased. Poll again later
+	// (HTTP 204): an expiring lease may reopen a range.
+	ErrNoWork = errors.New("jobs: no open range")
+	// ErrJobDone tells a leasing worker the job reached a terminal state
+	// and will never hand out work again (HTTP 410).
+	ErrJobDone = errors.New("jobs: job is terminal")
+	// ErrNotSharded rejects lease traffic against a FIFO job (HTTP 409).
+	ErrNotSharded = errors.New("jobs: job is not sharded")
+	// ErrBadPartial rejects a partial whose range or points do not match
+	// the job's partition (HTTP 400).
+	ErrBadPartial = errors.New("jobs: bad partial")
+)
+
+// ShardOptions configures a sharded job's lease geometry. The zero
+// value of each field selects a default.
+type ShardOptions struct {
+	// LeasePoints is the points per lease range (<= 0 means 64). The
+	// grid's point list is partitioned into contiguous ranges of this
+	// size; each lease covers exactly one range.
+	LeasePoints int `json:"lease_points"`
+	// LeaseTTL bounds how long a worker may sit on a lease (<= 0 means
+	// 30s). Past the deadline the range is re-issued to the next asker —
+	// safe because every point is deterministic and idempotent, so two
+	// workers racing on one range produce identical records and the
+	// second completion is dropped.
+	LeaseTTL time.Duration `json:"-"`
+}
+
+func (o *ShardOptions) fill() {
+	if o.LeasePoints <= 0 {
+		o.LeasePoints = 64
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+}
+
+// LeaseGrant is one issued lease: run points [Lo, Hi) of Spec and post
+// a Partial back before Deadline.
+type LeaseGrant struct {
+	JobID    string          `json:"job"`
+	LeaseID  string          `json:"lease"`
+	Lo       int             `json:"lo"`
+	Hi       int             `json:"hi"`
+	Deadline time.Time       `json:"deadline"`
+	Spec     json.RawMessage `json:"spec"`
+}
+
+// Partial is a worker's completed range: the per-point records of
+// [Lo, Hi) in point order, or Err when a point failed. Completion is
+// keyed by the range, not the lease — a partial for an open or expired
+// range folds even if the coordinator restarted and forgot the lease,
+// and a duplicate completion of an already-folded range is dropped.
+type Partial struct {
+	LeaseID string        `json:"lease,omitempty"`
+	Worker  string        `json:"worker,omitempty"`
+	Lo      int           `json:"lo"`
+	Hi      int           `json:"hi"`
+	Points  []PointRecord `json:"points,omitempty"`
+	Err     string        `json:"err,omitempty"`
+}
+
+// lease is one outstanding grant, keyed by its range start in
+// shardState.leases — at most one live lease per range.
+type lease struct {
+	id       string
+	worker   string
+	deadline time.Time
+}
+
+// shardState is a sharded job's coordinator half: the fold cursor, the
+// out-of-order completed ranges awaiting their predecessors, and the
+// outstanding leases. Guarded by the job's mu. Leases are memory-only —
+// a restarted coordinator forgets them and simply re-issues open
+// ranges; pending ranges ARE checkpointed, so completed work survives.
+type shardState struct {
+	opts      ShardOptions
+	cursor    stats.RangeCursor
+	pending   map[int][]PointRecord // completed ranges by Lo, not yet folded
+	leases    map[int]*lease        // outstanding grants by range Lo
+	leaseSeq  uint64
+	topo      bftbcast.Topology // lazily compiled, shared by local executors
+	sinceCkpt int
+	lastCkpt  time.Time
+}
+
+func newShardState(total int, opts ShardOptions) *shardState {
+	opts.fill()
+	return &shardState{
+		opts:    opts,
+		cursor:  stats.NewRangeCursor(total, opts.LeasePoints),
+		pending: make(map[int][]PointRecord),
+		leases:  make(map[int]*lease),
+	}
+}
+
+// SubmitSharded validates and persists a grid like Submit, but opens
+// it in sharded mode: the job bypasses the FIFO queue and immediately
+// serves leases over its partitioned point list. It completes when the
+// last range folds, however many workers (remote daemons or local
+// shard executors) pulled the leases.
+func (m *Manager) SubmitSharded(spec *bftbcast.GridSpec, opts ShardOptions) (*Job, error) {
+	return m.submit(spec, &opts)
+}
+
+// Lease issues the next open range of a sharded job to worker. It
+// reclaims expired leases first, so a died worker's range is re-issued
+// here, lazily, with no background scan.
+func (m *Manager) Lease(jobID, worker string) (LeaseGrant, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return LeaseGrant{}, ErrClosed
+	}
+	job, ok := m.jobs[jobID]
+	m.mu.Unlock()
+	if !ok {
+		return LeaseGrant{}, fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+	return m.leaseJob(job, worker)
+}
+
+// leaseJob grants one range of job to worker, or a sentinel error.
+func (m *Manager) leaseJob(job *Job, worker string) (LeaseGrant, error) {
+	now := m.now()
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	sh := job.shard
+	if sh == nil {
+		return LeaseGrant{}, ErrNotSharded
+	}
+	if job.state.Terminal() {
+		return LeaseGrant{}, ErrJobDone
+	}
+	for lo, l := range sh.leases {
+		if now.After(l.deadline) {
+			delete(sh.leases, lo)
+		}
+	}
+	lo, ok := sh.cursor.NextOpen(func(lo int) bool {
+		_, held := sh.leases[lo]
+		return held
+	})
+	if !ok {
+		return LeaseGrant{}, ErrNoWork
+	}
+	hi, _ := sh.cursor.Bounds(lo)
+	sh.leaseSeq++
+	id := fmt.Sprintf("%s-%d-%d", job.id, lo, sh.leaseSeq)
+	deadline := now.Add(sh.opts.LeaseTTL)
+	sh.leases[lo] = &lease{id: id, worker: worker, deadline: deadline}
+	return LeaseGrant{
+		JobID:    job.id,
+		LeaseID:  id,
+		Lo:       lo,
+		Hi:       hi,
+		Deadline: deadline,
+		Spec:     job.specJSON,
+	}, nil
+}
+
+// CompleteLease folds a worker's finished range into the job. The
+// partial parks in the reorder buffer until every earlier range has
+// folded, then the cascade replays its records through the aggregate
+// in global point order — so the final aggregate is byte-identical to
+// an unsharded sequential run. Duplicate completions (an expired lease
+// re-issued, both workers finishing) are dropped without double-
+// counting, and a partial against an already-terminal job is a no-op.
+func (m *Manager) CompleteLease(jobID string, p Partial) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	job, ok := m.jobs[jobID]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, jobID)
+	}
+
+	job.mu.Lock()
+	sh := job.shard
+	if sh == nil {
+		job.mu.Unlock()
+		return ErrNotSharded
+	}
+	if job.state.Terminal() {
+		job.mu.Unlock()
+		return nil
+	}
+	hi, ok := sh.cursor.Bounds(p.Lo)
+	if !ok || hi != p.Hi {
+		job.mu.Unlock()
+		return fmt.Errorf("%w: [%d,%d) is not a partition range", ErrBadPartial, p.Lo, p.Hi)
+	}
+	delete(sh.leases, p.Lo)
+	if p.Err != "" {
+		job.mu.Unlock()
+		m.finishJob(job, StateFailed, fmt.Errorf("jobs: range [%d,%d): %s", p.Lo, p.Hi, p.Err))
+		m.shardWake()
+		return nil
+	}
+	if sh.cursor.Contains(p.Lo) {
+		// Duplicate completion of a folded or pending range: the records
+		// are deterministic, so the copies are identical — drop this one.
+		job.mu.Unlock()
+		return nil
+	}
+	if len(p.Points) != p.Hi-p.Lo {
+		job.mu.Unlock()
+		return fmt.Errorf("%w: %d points for range [%d,%d)", ErrBadPartial, len(p.Points), p.Lo, p.Hi)
+	}
+	for i := range p.Points {
+		if p.Points[i].Index != p.Lo+i {
+			job.mu.Unlock()
+			return fmt.Errorf("%w: point %d carries index %d", ErrBadPartial, p.Lo+i, p.Points[i].Index)
+		}
+	}
+	sh.cursor.MarkPending(p.Lo)
+	sh.pending[p.Lo] = p.Points
+	// Cascade: fold every range now sitting at the prefix, replaying
+	// records in exactly the order an unsharded run added them.
+	for {
+		lo, _, ok := sh.cursor.NextFoldable()
+		if !ok {
+			break
+		}
+		for i := range sh.pending[lo] {
+			rec := sh.pending[lo][i]
+			rec.Job = job.id
+			job.agg.AddRecord(rec)
+			job.publishLocked(rec)
+			sh.sinceCkpt++
+		}
+		delete(sh.pending, lo)
+		sh.cursor.Fold(lo)
+	}
+	done := sh.cursor.Complete()
+	ckpt := !done && sh.sinceCkpt >= m.cfg.CheckpointEvery && m.intervalElapsed(&sh.lastCkpt)
+	if ckpt {
+		sh.sinceCkpt = 0
+	}
+	job.mu.Unlock()
+
+	if done {
+		m.finishJob(job, StateDone, nil)
+		m.shardWake()
+	} else if ckpt {
+		if err := m.checkpointJob(job); err != nil {
+			m.finishJob(job, StateFailed, err)
+			m.shardWake()
+		}
+	}
+	return nil
+}
+
+// shardWake nudges the local shard executors to rescan for work.
+func (m *Manager) shardWake() {
+	m.mu.Lock()
+	m.shardGen++
+	m.shardCond.Broadcast()
+	m.mu.Unlock()
+}
+
+// shardedJobs snapshots the lease-serving jobs in submission order;
+// m.mu is held.
+func (m *Manager) shardedJobsLocked() []*Job {
+	var out []*Job
+	for _, job := range m.jobs {
+		if job.shard != nil {
+			out = append(out, job)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// runExecutor is one in-process shard executor: it pulls leases from
+// any sharded job through the exact protocol a remote worker uses and
+// runs each range on a single pinned sweep worker — K executors give a
+// multi-core box grid-level scaling through the one lease code path.
+func (m *Manager) runExecutor(i int) {
+	defer m.wg.Done()
+	worker := fmt.Sprintf("exec-%d", i)
+	for {
+		job, grant, ok := m.nextLease(worker)
+		if !ok {
+			return
+		}
+		recs, err := m.runLease(job, grant)
+		if err != nil {
+			if m.baseCtx.Err() != nil {
+				// Drain: abandon the lease; it expires and re-issues after
+				// the coordinator reopens.
+				return
+			}
+			_ = m.CompleteLease(job.id, Partial{
+				LeaseID: grant.LeaseID, Worker: worker,
+				Lo: grant.Lo, Hi: grant.Hi, Err: err.Error(),
+			})
+			continue
+		}
+		_ = m.CompleteLease(job.id, Partial{
+			LeaseID: grant.LeaseID, Worker: worker,
+			Lo: grant.Lo, Hi: grant.Hi, Points: recs,
+		})
+	}
+}
+
+// nextLease blocks until some sharded job grants a range or the
+// manager closes.
+func (m *Manager) nextLease(worker string) (*Job, LeaseGrant, bool) {
+	m.mu.Lock()
+	for {
+		if m.closed {
+			m.mu.Unlock()
+			return nil, LeaseGrant{}, false
+		}
+		jobs := m.shardedJobsLocked()
+		gen := m.shardGen
+		m.mu.Unlock()
+		for _, job := range jobs {
+			grant, err := m.leaseJob(job, worker)
+			if err == nil {
+				return job, grant, true
+			}
+		}
+		m.mu.Lock()
+		if m.shardGen == gen && !m.closed {
+			m.shardCond.Wait()
+		}
+	}
+}
+
+// runLease executes one granted range against the job's shared
+// compiled topology.
+func (m *Manager) runLease(job *Job, grant LeaseGrant) ([]PointRecord, error) {
+	tp, err := job.shardTopo()
+	if err != nil {
+		return nil, err
+	}
+	return RunRange(m.baseCtx, m.cfg.Engine, 1, job.id, job.spec, tp, grant.Lo, grant.Hi, m.cfg.Observe)
+}
+
+// shardTopo compiles the job's topology once; every lease of the job
+// shares it, so a small lease size does not recompile the plan per
+// range.
+func (j *Job) shardTopo() (bftbcast.Topology, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.shard != nil && j.shard.topo != nil {
+		return j.shard.topo, nil
+	}
+	tp, err := bftbcast.NewTopology(j.spec.Base.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", bftbcast.ErrBadSpec, err)
+	}
+	if j.shard != nil {
+		j.shard.topo = tp
+	}
+	return tp, nil
+}
+
+// RunRange expands and executes points [lo, hi) of spec on tp and
+// returns their records in point order — the worker half of the lease
+// protocol, shared by the in-process shard executors and the remote
+// -worker mode of cmd/bftsimd. observe, when non-nil, is attached to
+// every point exactly as the unsharded runner attaches it (a test seam
+// for asserting a range is computed once).
+func RunRange(ctx context.Context, eng bftbcast.Engine, workers int, jobID string, spec *bftbcast.GridSpec, tp bftbcast.Topology, lo, hi int, observe func(jobID string, index int) bftbcast.Observer) ([]PointRecord, error) {
+	scenarios, err := spec.ScenariosOn(tp, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if observe != nil {
+		for i := range scenarios {
+			sc, err := scenarios[i].With(bftbcast.WithObserver(observe(jobID, lo+i)))
+			if err != nil {
+				return nil, err
+			}
+			scenarios[i] = sc
+		}
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sweep := &bftbcast.Sweep{Engine: eng, Workers: workers, Scenarios: scenarios, Buffer: 16}
+	stream := sweep.Stream(cctx)
+	recs := make([]PointRecord, hi-lo)
+	got := 0
+	var runErr error
+	for pt := range stream {
+		if pt.Err != nil {
+			runErr = pt.Err
+			break
+		}
+		i := pt.Index
+		pt.Index += lo
+		recs[i] = pointRecord(jobID, pt)
+		got++
+	}
+	if runErr != nil {
+		// Bounded-stream abandonment contract: cancel, then drain.
+		cancel()
+		for range stream {
+		}
+		return nil, runErr
+	}
+	if got != hi-lo {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("jobs: range [%d,%d) ended after %d points", lo, hi, got)
+	}
+	return recs, nil
+}

@@ -1,0 +1,111 @@
+package stats
+
+import "fmt"
+
+// RangeCursor tracks completion of a fixed partition of [0, Total)
+// points into contiguous ranges of Size points (the last range may be
+// short) that are *completed* in any order but *folded* strictly in
+// order. Done is the contiguous folded prefix in points — always a
+// range boundary — and Pending the sorted starts of ranges completed
+// out of order, waiting for their predecessors. The jobs layer's
+// sharded lease protocol uses one cursor per job: leases hand out open
+// ranges, completions mark them pending, and the coordinator folds the
+// growing prefix so the aggregate absorbs points in exactly the order
+// an unsharded run would.
+//
+// The zero value is unusable; construct with NewRangeCursor.
+type RangeCursor struct {
+	Total   int
+	Size    int
+	Done    int
+	Pending []int
+}
+
+// NewRangeCursor partitions [0, total) into ranges of size points.
+func NewRangeCursor(total, size int) RangeCursor {
+	if total < 0 || size <= 0 {
+		panic(fmt.Sprintf("stats: bad range cursor geometry total=%d size=%d", total, size))
+	}
+	return RangeCursor{Total: total, Size: size}
+}
+
+// Bounds reports whether lo starts a partition range, and its end.
+func (c *RangeCursor) Bounds(lo int) (hi int, ok bool) {
+	if lo < 0 || lo >= c.Total || lo%c.Size != 0 {
+		return 0, false
+	}
+	hi = lo + c.Size
+	if hi > c.Total {
+		hi = c.Total
+	}
+	return hi, true
+}
+
+// Contains reports whether the range starting at lo has already been
+// completed — folded into the prefix or pending out of order. A second
+// completion of such a range must be dropped, never folded again.
+func (c *RangeCursor) Contains(lo int) bool {
+	if lo < c.Done {
+		return true
+	}
+	for _, p := range c.Pending {
+		if p == lo {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkPending records the range starting at lo as completed. It
+// returns false — and changes nothing — when lo is not a valid range
+// start or the range was already completed.
+func (c *RangeCursor) MarkPending(lo int) bool {
+	if _, ok := c.Bounds(lo); !ok || c.Contains(lo) {
+		return false
+	}
+	i := 0
+	for i < len(c.Pending) && c.Pending[i] < lo {
+		i++
+	}
+	c.Pending = append(c.Pending, 0)
+	copy(c.Pending[i+1:], c.Pending[i:])
+	c.Pending[i] = lo
+	return true
+}
+
+// NextFoldable returns the completed range sitting exactly at the
+// folded prefix, if any — the only range that may fold next.
+func (c *RangeCursor) NextFoldable() (lo, hi int, ok bool) {
+	if len(c.Pending) == 0 || c.Pending[0] != c.Done {
+		return 0, 0, false
+	}
+	hi, _ = c.Bounds(c.Done)
+	return c.Done, hi, true
+}
+
+// Fold advances the prefix over the pending range at the cursor; the
+// caller must have obtained it from NextFoldable.
+func (c *RangeCursor) Fold(lo int) {
+	if len(c.Pending) == 0 || c.Pending[0] != lo || lo != c.Done {
+		panic(fmt.Sprintf("stats: fold of range %d at cursor %d with pending %v", lo, c.Done, c.Pending))
+	}
+	hi, _ := c.Bounds(lo)
+	c.Pending = c.Pending[1:]
+	c.Done = hi
+}
+
+// NextOpen scans for the first range that is neither completed nor
+// claimed (per the caller's predicate, e.g. an outstanding lease),
+// starting at the folded prefix.
+func (c *RangeCursor) NextOpen(claimed func(lo int) bool) (lo int, ok bool) {
+	for lo = c.Done; lo < c.Total; lo += c.Size {
+		if c.Contains(lo) || (claimed != nil && claimed(lo)) {
+			continue
+		}
+		return lo, true
+	}
+	return 0, false
+}
+
+// Complete reports whether every point has folded.
+func (c *RangeCursor) Complete() bool { return c.Done == c.Total }

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRangeCursorInOrder folds a partition completed strictly in order:
+// every range is foldable the moment it completes and the prefix tracks
+// exactly.
+func TestRangeCursorInOrder(t *testing.T) {
+	c := NewRangeCursor(22, 8) // ranges [0,8) [8,16) [16,22)
+	for _, lo := range []int{0, 8, 16} {
+		hi, ok := c.Bounds(lo)
+		if !ok {
+			t.Fatalf("Bounds(%d) not a range start", lo)
+		}
+		if !c.MarkPending(lo) {
+			t.Fatalf("MarkPending(%d) refused", lo)
+		}
+		flo, fhi, ok := c.NextFoldable()
+		if !ok || flo != lo || fhi != hi {
+			t.Fatalf("NextFoldable = %d,%d,%v, want %d,%d,true", flo, fhi, ok, lo, hi)
+		}
+		c.Fold(lo)
+		if c.Done != hi {
+			t.Fatalf("Done = %d after folding [%d,%d)", c.Done, lo, hi)
+		}
+	}
+	if !c.Complete() {
+		t.Fatal("cursor not complete after folding every range")
+	}
+	if _, ok := c.NextOpen(nil); ok {
+		t.Fatal("complete cursor still hands out open ranges")
+	}
+}
+
+// TestRangeCursorOutOfOrder pins the reorder contract: ranges completed
+// ahead of the prefix park in Pending (sorted) and cascade-fold once the
+// gap closes, and duplicates are rejected at every stage.
+func TestRangeCursorOutOfOrder(t *testing.T) {
+	c := NewRangeCursor(20, 5) // ranges 0,5,10,15
+	for _, lo := range []int{10, 15, 5} {
+		if !c.MarkPending(lo) {
+			t.Fatalf("MarkPending(%d) refused", lo)
+		}
+	}
+	if !reflect.DeepEqual(c.Pending, []int{5, 10, 15}) {
+		t.Fatalf("pending = %v, want sorted [5 10 15]", c.Pending)
+	}
+	if _, _, ok := c.NextFoldable(); ok {
+		t.Fatal("nothing may fold while the prefix range is missing")
+	}
+	if lo, ok := c.NextOpen(nil); !ok || lo != 0 {
+		t.Fatalf("NextOpen = %d,%v, want 0 (the gap)", lo, ok)
+	}
+	// Duplicate completions of folded and pending ranges are refused.
+	if c.MarkPending(10) {
+		t.Fatal("pending range accepted twice")
+	}
+	if !c.MarkPending(0) {
+		t.Fatal("gap range refused")
+	}
+	// The cascade: 0 folds, then 5, 10, 15 in turn.
+	for want := 0; want < 20; want += 5 {
+		lo, _, ok := c.NextFoldable()
+		if !ok || lo != want {
+			t.Fatalf("cascade foldable = %d,%v, want %d", lo, ok, want)
+		}
+		c.Fold(lo)
+	}
+	if !c.Complete() || len(c.Pending) != 0 {
+		t.Fatalf("after cascade: done=%d pending=%v", c.Done, c.Pending)
+	}
+	if c.MarkPending(17) {
+		t.Fatal("17 is not a range start")
+	}
+	if !c.Contains(15) {
+		t.Fatal("folded range no longer Contains")
+	}
+}
+
+// TestRangeCursorNextOpenSkipsClaimed pins lease interaction: claimed
+// ranges are skipped, and exhaustion (everything folded, pending or
+// claimed) reports no work.
+func TestRangeCursorNextOpenSkipsClaimed(t *testing.T) {
+	c := NewRangeCursor(16, 4) // ranges 0,4,8,12
+	claimed := map[int]bool{0: true, 8: true}
+	pred := func(lo int) bool { return claimed[lo] }
+	if lo, ok := c.NextOpen(pred); !ok || lo != 4 {
+		t.Fatalf("NextOpen skipping claimed = %d,%v, want 4", lo, ok)
+	}
+	claimed[4], claimed[12] = true, true
+	if _, ok := c.NextOpen(pred); ok {
+		t.Fatal("fully claimed cursor still hands out work")
+	}
+	// A claim released (lease expired) reopens the range.
+	delete(claimed, 8)
+	if lo, ok := c.NextOpen(pred); !ok || lo != 8 {
+		t.Fatalf("released claim not reopened: %d,%v", lo, ok)
+	}
+	// Bounds of the short tail and invalid starts.
+	if hi, ok := c.Bounds(12); !ok || hi != 16 {
+		t.Fatalf("Bounds(12) = %d,%v", hi, ok)
+	}
+	for _, lo := range []int{-4, 2, 16} {
+		if _, ok := c.Bounds(lo); ok {
+			t.Fatalf("Bounds(%d) accepted", lo)
+		}
+	}
+}

@@ -6,7 +6,8 @@
 # 160×160 torus sweep, the 100k-node RGG single-run, and the
 # million-node RGG single-run — plus the job-service tier, the
 # end-to-end submit/run/aggregate/wait path of internal/jobs behind
-# cmd/bftsimd) and emit BENCH_sim.json, the
+# cmd/bftsimd and the sharded lease-protocol variant of the same grid)
+# and emit BENCH_sim.json, the
 # machine-readable record the CI bench job uploads and the repo checks in
 # as the perf trajectory across PRs.
 #
@@ -17,7 +18,12 @@
 #     BenchmarkRGG1MRun or BenchmarkJobThroughput by more than 15%,
 #     or BenchmarkBVDeliver by more than 25% (generous: the op is
 #     microseconds, so scheduler noise dominates — the 0.65 vs_prev
-#     scare in PR 8's snapshot was exactly such noise), in ns/op, or
+#     scare in PR 8's snapshot was exactly such noise), or the
+#     executors=1 leg of BenchmarkShardedGridThroughput by more than
+#     15% (disk-sensitive like JobThroughput; the absolute ≤1.10×
+#     coordinator-overhead gate vs the unsharded run is asserted inside
+#     the benchmark itself, so it holds on every run, not just vs the
+#     snapshot), in ns/op, or
 #   - BenchmarkBVDeliver, BenchmarkRGG100kRun, BenchmarkRGG1MRun,
 #     BenchmarkMultiBroadcast, the workers=4 leg of
 #     BenchmarkMultiBroadcastParallel, or BenchmarkJobThroughput
@@ -42,7 +48,7 @@ OUT="${2:-BENCH_sim.json}"
 PREVFLAGS=""
 if [ -f BENCH_sim.json ]; then
   cp BENCH_sim.json /tmp/bench_prev.json
-  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10,BenchmarkBVDeliver:1.25,BenchmarkBVDeliver:allocs:1.10,BenchmarkRGG100kRun:1.10,BenchmarkRGG100kRun:allocs:1.10,BenchmarkRGG1MRun:1.15,BenchmarkRGG1MRun:allocs:1.10,BenchmarkMultiBroadcast:1.10,BenchmarkMultiBroadcast:allocs:1.10,BenchmarkMultiBroadcastParallel/workers=4:allocs:1.10,BenchmarkJobThroughput:1.15,BenchmarkJobThroughput:allocs:1.10"
+  PREVFLAGS="-prev /tmp/bench_prev.json -max-regress BenchmarkSweep45Scenario:1.10,BenchmarkBVDeliver:1.25,BenchmarkBVDeliver:allocs:1.10,BenchmarkRGG100kRun:1.10,BenchmarkRGG100kRun:allocs:1.10,BenchmarkRGG1MRun:1.15,BenchmarkRGG1MRun:allocs:1.10,BenchmarkMultiBroadcast:1.10,BenchmarkMultiBroadcast:allocs:1.10,BenchmarkMultiBroadcastParallel/workers=4:allocs:1.10,BenchmarkJobThroughput:1.15,BenchmarkJobThroughput:allocs:1.10,BenchmarkShardedGridThroughput/executors=1:1.15,BenchmarkShardedGridThroughput/executors=1:allocs:1.10"
 fi
 
 go build -o /tmp/benchjson ./cmd/benchjson
@@ -70,10 +76,12 @@ run_suite() {
     -benchmem -benchtime "$BENCHTIME" ./internal/bv >> "$RAW"
   # The job-service tier: end-to-end submit → checkpointing run →
   # constant-memory aggregation → wait for a 64-point grid, the path
-  # every bftsimd job takes. Gated loosely (15%): the checkpoint fsyncs
-  # make it disk-sensitive.
+  # every bftsimd job takes — plus the sharded lease-protocol variant
+  # of the same grid (local executors pulling 4-point leases), whose
+  # coordinator-overhead gate runs inside the benchmark. Gated loosely
+  # (15%): the checkpoint fsyncs make both disk-sensitive.
   go test -run '^$' -timeout 600s \
-    -bench 'BenchmarkJobThroughput$' \
+    -bench 'Benchmark(JobThroughput|ShardedGridThroughput)$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/jobs >> "$RAW"
   cat "$RAW" >&2
 }

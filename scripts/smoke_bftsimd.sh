@@ -2,9 +2,12 @@
 # smoke_bftsimd.sh — end-to-end smoke test of the bftsimd daemon over a
 # real socket: boot it on a free port, submit a grid job over HTTP,
 # stream its NDJSON results to the summary line, cancel a second
-# long-running job, then SIGTERM the daemon and require a clean drain
-# (exit 0, drain notice in the log). The CI daemon-smoke job runs this;
-# it needs only sh, curl and the go toolchain.
+# long-running job, shard a grid across two separate pull-worker
+# processes (killing one mid-grid to force a lease re-issue) and require
+# the sharded aggregate to be byte-identical to the single-daemon run,
+# then SIGTERM the daemon and require a clean drain (exit 0, drain
+# notice in the log). The CI daemon-smoke job runs this; it needs only
+# sh, curl, cmp and the go toolchain.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,7 +15,11 @@ cd "$(dirname "$0")/.."
 DIR="$(mktemp -d)"
 LOG="$DIR/daemon.log"
 PID=""
+W1=""
+W2=""
 cleanup() {
+  [ -n "$W1" ] && kill -9 "$W1" 2>/dev/null || true
+  [ -n "$W2" ] && kill -9 "$W2" 2>/dev/null || true
   [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
   rm -rf "$DIR"
 }
@@ -91,6 +98,82 @@ done
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
   --data-binary '{"base": {"topology": {"Kind": "warp"}}}' "$BASE/v1/jobs")"
 [ "$CODE" = "400" ] || { echo "smoke_bftsimd: bad spec returned $CODE, want 400" >&2; exit 1; }
+
+# --- Horizontal sharding: one grid, two pull-worker processes. ---
+# The same grid run twice: once unsharded on the daemon's own pool (the
+# control), once sharded across two external workers with one worker
+# kill -9'd mid-grid — its expired lease must re-issue and the final
+# aggregate must be byte-identical to the control.
+GRID='{
+  "base": {"topology": {"Kind": "torus", "W": 15, "H": 15, "R": 2}, "t": 1, "mf": 2,
+            "adversary": "random", "density": 0.08, "seed": 47},
+  "seeds": 200
+}'
+
+CID="$(curl -fsS -X POST --data-binary "$GRID" "$BASE/v1/jobs" | job_id)"
+[ -n "$CID" ] || { echo "smoke_bftsimd: control submit returned no job id" >&2; exit 1; }
+i=0
+while [ $i -lt 600 ]; do
+  curl -fsS "$BASE/v1/jobs/$CID" | grep -q '"state": "done"' && break
+  sleep 0.1
+  i=$((i + 1))
+done
+[ $i -lt 600 ] || { echo "smoke_bftsimd: control job never finished" >&2; exit 1; }
+curl -fsS "$BASE/v1/jobs/$CID/aggregate" >"$DIR/control.json"
+
+SID="$(curl -fsS -X POST --data-binary "$GRID" \
+  "$BASE/v1/jobs?sharded=1&lease_points=4&lease_ttl=2s" | job_id)"
+[ -n "$SID" ] || { echo "smoke_bftsimd: sharded submit returned no job id" >&2; exit 1; }
+
+"$DIR/bftsimd" -worker -coordinator "$BASE" -worker-id w1 -poll 50ms >"$DIR/w1.log" 2>&1 &
+W1=$!
+"$DIR/bftsimd" -worker -coordinator "$BASE" -worker-id w2 -poll 50ms >"$DIR/w2.log" 2>&1 &
+W2=$!
+
+# Kill worker 1 as soon as the grid has made progress but is not done:
+# whatever lease it holds is abandoned and must re-issue after its 2s
+# TTL for the job to ever finish.
+i=0
+while [ $i -lt 600 ]; do
+  DONE="$(curl -fsS "$BASE/v1/jobs/$SID" | sed -n 's/.*"done": \([0-9]*\).*/\1/p' | head -n 1)"
+  [ "${DONE:-0}" -gt 0 ] && break
+  sleep 0.05
+  i=$((i + 1))
+done
+[ $i -lt 600 ] || { echo "smoke_bftsimd: sharded job made no progress" >&2; cat "$DIR/w1.log" "$DIR/w2.log" >&2; exit 1; }
+kill -9 "$W1" 2>/dev/null || true
+W1=""
+
+i=0
+while [ $i -lt 600 ]; do
+  curl -fsS "$BASE/v1/jobs/$SID" | grep -q '"state": "done"' && break
+  sleep 0.1
+  i=$((i + 1))
+done
+[ $i -lt 600 ] || {
+  echo "smoke_bftsimd: sharded job never finished after the worker kill" >&2
+  curl -fsS "$BASE/v1/jobs/$SID" >&2 || true
+  cat "$DIR/w2.log" >&2
+  exit 1
+}
+curl -fsS "$BASE/v1/jobs/$SID/aggregate" >"$DIR/sharded.json"
+cmp -s "$DIR/control.json" "$DIR/sharded.json" || {
+  echo "smoke_bftsimd: sharded aggregate diverged from the single-daemon run" >&2
+  diff "$DIR/control.json" "$DIR/sharded.json" >&2 || true
+  exit 1
+}
+
+# The surviving worker drains cleanly on SIGTERM.
+kill -TERM "$W2"
+RC=0
+wait "$W2" || RC=$?
+W2=""
+[ "$RC" = "0" ] || { echo "smoke_bftsimd: worker exited $RC after SIGTERM" >&2; cat "$DIR/w2.log" >&2; exit 1; }
+grep -q "draining" "$DIR/w2.log" || {
+  echo "smoke_bftsimd: no worker drain notice" >&2
+  cat "$DIR/w2.log" >&2
+  exit 1
+}
 
 # Graceful drain: SIGTERM, clean exit, drain notice.
 kill -TERM "$PID"

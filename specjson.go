@@ -263,26 +263,54 @@ func (g *GridSpec) Validate() error {
 	})
 }
 
-// Scenarios expands the grid to its full point list in the documented
-// deterministic order. All points share one topology (and therefore one
+// Scenarios expands the grid's points [lo, hi) in the documented
+// deterministic order (the full list is Scenarios(0, g.NPoints())).
+// All points share one freshly built topology (and therefore one
 // compiled plan across all sweep workers); each point derives from the
 // base via the axis overrides and its replica seed. Expansion itself
-// validates every point (scenarioOn rejects malformed corners with the
-// same typed errors Validate reports), so no separate Validate pass
-// runs here — checkpoint resume re-expands grids constantly, and the
-// double expansion used to double the submission allocation bill.
-func (g *GridSpec) Scenarios() ([]*Scenario, error) {
-	if g.Seeds < 0 {
-		return nil, fmt.Errorf("%w: seeds %d must be >= 0", ErrBadSpec, g.Seeds)
-	}
+// validates every built point (scenarioOn rejects malformed corners
+// with the same typed errors Validate reports), so no separate Validate
+// pass runs here — checkpoint resume re-expands grids constantly, and
+// the double expansion used to double the submission allocation bill.
+func (g *GridSpec) Scenarios(lo, hi int) ([]*Scenario, error) {
 	tp, err := NewTopology(g.Base.Topology)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSpec, err)
 	}
+	return g.ScenariosOn(tp, lo, hi)
+}
+
+// ScenariosOn is Scenarios on a caller-provided topology, so repeated
+// range expansions of one grid (the sharded lease protocol pulls a grid
+// range by range) share a single topology and its compiled plan instead
+// of rebuilding both per range. Only the points inside [lo, hi) are
+// built: replica blocks entirely outside the range are skipped without
+// walking their axis combinations, so expanding a narrow window of a
+// huge grid allocates O(hi-lo), not O(NPoints) (replica-seed derivation
+// is O(replicas) cheap RNG draws either way).
+func (g *GridSpec) ScenariosOn(tp Topology, lo, hi int) ([]*Scenario, error) {
+	if g.Seeds < 0 {
+		return nil, fmt.Errorf("%w: seeds %d must be >= 0", ErrBadSpec, g.Seeds)
+	}
+	total := g.NPoints()
+	if lo < 0 || hi > total || lo > hi {
+		return nil, fmt.Errorf("%w: point range [%d,%d) outside grid of %d points", ErrBadSpec, lo, hi, total)
+	}
 	seeds := deriveSeeds(g.Base.Seed, g.replicas())
-	out := make([]*Scenario, 0, g.NPoints())
-	for _, seed := range seeds {
+	perReplica := total / len(seeds)
+	out := make([]*Scenario, 0, hi-lo)
+	for ri, seed := range seeds {
+		base := ri * perReplica
+		if base+perReplica <= lo || base >= hi {
+			continue
+		}
+		idx := base
 		err := g.forEachCombo(func(t, mf int, density float64, broadcasts int) error {
+			i := idx
+			idx++
+			if i < lo || i >= hi {
+				return nil
+			}
 			sc, err := g.Base.scenarioOn(tp, t, mf, density, broadcasts, seed)
 			if err != nil {
 				return err

@@ -55,8 +55,8 @@ func TestGridSpecDecodeValidate(t *testing.T) {
 func TestGridSpecRoundTrip(t *testing.T) {
 	g := &bftbcast.GridSpec{
 		Base: bftbcast.ScenarioSpec{
-			Topology:  bftbcast.TopologySpec{Kind: "grid", W: 16, H: 16, R: 2},
-			T:         1, MF: 2, Protocol: "koo", Adversary: "random", Density: 0.08, Seed: 42,
+			Topology: bftbcast.TopologySpec{Kind: "grid", W: 16, H: 16, R: 2},
+			T:        1, MF: 2, Protocol: "koo", Adversary: "random", Density: 0.08, Seed: 42,
 		},
 		Seeds: 4,
 		T:     []int{1, 2},
@@ -88,7 +88,7 @@ func TestGridSpecExpansion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts, err := g.Scenarios()
+	pts, err := g.Scenarios(0, g.NPoints())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestGridSpecExpansion(t *testing.T) {
 		}
 	}
 
-	again, err := g.Scenarios()
+	again, err := g.Scenarios(0, g.NPoints())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestGridSpecRunsDeterministically(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func() []bftbcast.SweepPoint {
-		scenarios, err := g.Scenarios()
+		scenarios, err := g.Scenarios(0, g.NPoints())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,8 +173,8 @@ func TestGridSpecRunsDeterministically(t *testing.T) {
 // a runnable scenario (placement without strategy, policy resolved).
 func TestScenarioSpecReactive(t *testing.T) {
 	spec := &bftbcast.ScenarioSpec{
-		Topology:  bftbcast.TopologySpec{Kind: "torus", W: 15, H: 15, R: 2},
-		T:         1, MF: 3, Protocol: "reactive", Policy: "forge",
+		Topology: bftbcast.TopologySpec{Kind: "torus", W: 15, H: 15, R: 2},
+		T:        1, MF: 3, Protocol: "reactive", Policy: "forge",
 		Adversary: "random", Density: 0.05, Seed: 2,
 	}
 	sc, err := spec.Scenario()
@@ -190,5 +190,60 @@ func TestScenarioSpecReactive(t *testing.T) {
 	}
 	if rep.Reactive == nil {
 		t.Fatal("reactive run lost its Report extension")
+	}
+}
+
+// TestScenariosRange pins the range-expansion contract the sharded
+// lease protocol leans on: Scenarios(lo, hi) equals the [lo, hi) slice
+// of the full expansion for every cut, range expansion on a shared
+// topology reuses that topology across calls, and out-of-range windows
+// are rejected with the typed spec error.
+func TestScenariosRange(t *testing.T) {
+	doc := []byte(`{
+		"base": {"topology": {"Kind": "torus", "W": 15, "H": 15, "R": 2}, "t": 1, "mf": 2,
+		          "adversary": "random", "density": 0.1, "seed": 13},
+		"seeds": 3, "t": [1, 2], "mf": [2, 4]
+	}`)
+	g, err := bftbcast.DecodeGridSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := g.NPoints() // 12
+	full, err := g.Scenarios(0, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != total {
+		t.Fatalf("full expansion has %d points, want %d", len(full), total)
+	}
+	tp, err := bftbcast.NewTopology(g.Base.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo <= total; lo++ {
+		for hi := lo; hi <= total; hi++ {
+			window, err := g.ScenariosOn(tp, lo, hi)
+			if err != nil {
+				t.Fatalf("ScenariosOn(%d, %d): %v", lo, hi, err)
+			}
+			if len(window) != hi-lo {
+				t.Fatalf("ScenariosOn(%d, %d) built %d points", lo, hi, len(window))
+			}
+			for i, sc := range window {
+				want := full[lo+i]
+				if sc.Seed != want.Seed || sc.Params != want.Params || sc.Broadcasts != want.Broadcasts {
+					t.Fatalf("window [%d,%d) point %d diverges from full expansion: seed %d/%d params %+v/%+v",
+						lo, hi, i, sc.Seed, want.Seed, sc.Params, want.Params)
+				}
+				if sc.Topo != tp {
+					t.Fatalf("window point %d does not share the provided topology", i)
+				}
+			}
+		}
+	}
+	for _, bad := range [][2]int{{-1, 2}, {0, total + 1}, {5, 4}} {
+		if _, err := g.Scenarios(bad[0], bad[1]); !errors.Is(err, bftbcast.ErrBadSpec) {
+			t.Fatalf("Scenarios(%d, %d): err = %v, want ErrBadSpec", bad[0], bad[1], err)
+		}
 	}
 }
